@@ -1,0 +1,50 @@
+"""Fig. 3(a): propagation latency on each AXI channel.
+
+Paper result (ZCU102): HyperConnect 4/4/2/2/2 cycles on AR/AW/R/W/B versus
+SmartConnect 12/12/11/3/2 — improvements of 66 %, 66 %, 82 %, 33 % and 0 %,
+and hence 74 % per read transaction and 41 % per write transaction.
+"""
+
+from repro.analysis import improvement
+from repro.system import measure_channel_latencies
+
+from conftest import publish
+
+#: the paper's measured values (cycles), used as the oracle
+PAPER_HC = {"AR": 4, "AW": 4, "R": 2, "W": 2, "B": 2}
+PAPER_SC = {"AR": 12, "AW": 12, "R": 11, "W": 3, "B": 2}
+
+
+def _run_both():
+    return (measure_channel_latencies("hyperconnect"),
+            measure_channel_latencies("smartconnect"))
+
+
+def test_fig3a_channel_latency(benchmark):
+    hc, sc = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    hc_map, sc_map = hc.as_dict(), sc.as_dict()
+
+    rows = ["channel  HyperConnect  SmartConnect  improvement   paper"]
+    for channel in ("AR", "AW", "R", "W", "B"):
+        gain = improvement(sc_map[channel], hc_map[channel])
+        paper_gain = improvement(PAPER_SC[channel], PAPER_HC[channel])
+        rows.append(f"{channel:<9}{hc_map[channel]:>12}"
+                    f"{sc_map[channel]:>14}{gain:>12.0%}"
+                    f"{paper_gain:>8.0%}")
+    rows.append(f"{'read txn':<9}{hc.read_total:>12}{sc.read_total:>14}"
+                f"{improvement(sc.read_total, hc.read_total):>12.0%}"
+                f"{0.74:>8.0%}")
+    rows.append(f"{'write txn':<9}{hc.write_total:>12}"
+                f"{sc.write_total:>14}"
+                f"{improvement(sc.write_total, hc.write_total):>12.0%}"
+                f"{0.41:>8.0%}")
+    publish("fig3a_channel_latency", "\n".join(rows))
+
+    benchmark.extra_info.update(
+        {f"hc_{k}": v for k, v in hc_map.items()})
+    benchmark.extra_info.update(
+        {f"sc_{k}": v for k, v in sc_map.items()})
+
+    # shape criteria: the simulated values ARE the paper's values
+    assert hc_map == PAPER_HC
+    assert sc_map == PAPER_SC

@@ -1,0 +1,61 @@
+"""Fig. 3(b): maximum memory access time vs amount of data.
+
+Paper result: the HyperConnect improves single-word response time by 28 %
+and 16-word bursts by 25 %; on 16 KiB (256 bursts) and 4 MiB (65 536
+bursts) the two interconnects deliver comparable throughput (the transfer
+is memory-bound).
+"""
+
+import pytest
+
+from repro.analysis import improvement
+from repro.system import measure_access_time
+
+from conftest import publish
+
+SIZES = [
+    ("1 word", 16),
+    ("16-word burst", 256),
+    ("16 KiB", 16 << 10),
+    ("4 MiB", 4 << 20),
+]
+
+#: paper-reported improvements where stated; None = "comparable"
+PAPER_GAIN = {"1 word": 0.28, "16-word burst": 0.25,
+              "16 KiB": None, "4 MiB": None}
+
+
+def _measure_all():
+    results = {}
+    for label, nbytes in SIZES:
+        results[label] = (measure_access_time("hyperconnect", nbytes),
+                          measure_access_time("smartconnect", nbytes))
+    return results
+
+
+def test_fig3b_access_time(benchmark):
+    results = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+
+    rows = ["size            HC (cycles)   SC (cycles)  improvement  paper"]
+    gains = {}
+    for label, __ in SIZES:
+        hc, sc = results[label]
+        gains[label] = improvement(sc, hc)
+        paper = PAPER_GAIN[label]
+        paper_text = f"{paper:.0%}" if paper is not None else "parity"
+        rows.append(f"{label:<15}{hc:>12}{sc:>14}"
+                    f"{gains[label]:>12.1%}  {paper_text}")
+    publish("fig3b_access_time", "\n".join(rows))
+
+    benchmark.extra_info.update(
+        {label: {"hc": hc, "sc": sc}
+         for label, (hc, sc) in results.items()})
+
+    # shape criteria
+    assert gains["1 word"] == pytest.approx(0.28, abs=0.03)
+    assert gains["16-word burst"] == pytest.approx(0.25, abs=0.04)
+    assert abs(gains["16 KiB"]) < 0.05
+    assert abs(gains["4 MiB"]) < 0.01
+    # improvement decays monotonically with size
+    ordered = [gains[label] for label, __ in SIZES]
+    assert all(a > b for a, b in zip(ordered, ordered[1:]))

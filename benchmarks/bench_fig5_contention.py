@@ -1,0 +1,72 @@
+"""Fig. 5: CHaiDNN + interfering DMA under contention.
+
+Paper result: with the SmartConnect the greedy HA_DMA "can take most of
+the bandwidth while HA_CHaiDNN can dispose of just a little portion"; the
+HyperConnect's HC-X-Y reservation configurations (90-10, 70-30, 50-50,
+30-70, 10-90) redistribute the bandwidth, with HC-90-10 bringing CHaiDNN
+close to its isolation performance.
+"""
+
+from repro.system import run_case_study
+
+from conftest import publish
+
+WINDOW = 800_000
+SCALE = 1 / 64
+SHARES = [(90, 10), (70, 30), (50, 50), (30, 70), (10, 90)]
+
+
+def _run_all():
+    results = {}
+    results["isolation"] = run_case_study(
+        "hyperconnect", run_dma=False, scale=SCALE, window_cycles=WINDOW)
+    results["dma_isolation"] = run_case_study(
+        "hyperconnect", run_chaidnn=False, scale=SCALE,
+        window_cycles=WINDOW)
+    results["smartconnect"] = run_case_study(
+        "smartconnect", scale=SCALE, window_cycles=WINDOW)
+    for x, y in SHARES:
+        results[f"HC-{x}-{y}"] = run_case_study(
+            "hyperconnect", shares={0: x / 100, 1: y / 100},
+            scale=SCALE, window_cycles=WINDOW)
+    return results
+
+
+def test_fig5_contention(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    iso_fps = results["isolation"].chaidnn_fps
+    iso_dma = results["dma_isolation"].dma_rate
+
+    rows = ["configuration    CHaiDNN fps (vs isolation)   "
+            "DMA rounds/s (vs isolation)"]
+
+    def row(label, result, dma_reference):
+        fps = result.chaidnn_fps
+        dma = result.dma_rate
+        return (f"{label:<17}{fps:>9.0f} ({fps / iso_fps:>4.0%})      "
+                f"{dma:>12.0f} ({dma / dma_reference:>4.0%})")
+
+    rows.append(f"{'isolation':<17}{iso_fps:>9.0f} (100%)      "
+                f"{iso_dma:>12.0f} (100%)")
+    rows.append(row("SmartConnect", results["smartconnect"], iso_dma))
+    for x, y in SHARES:
+        rows.append(row(f"HC-{x}-{y}", results[f"HC-{x}-{y}"], iso_dma))
+    publish("fig5_contention", "\n".join(rows))
+
+    benchmark.extra_info.update(
+        {key: {"fps": value.chaidnn_fps, "dma": value.dma_rate}
+         for key, value in results.items()})
+
+    # shape criteria
+    sc_fps = results["smartconnect"].chaidnn_fps
+    assert sc_fps < 0.35 * iso_fps, "SC must show starvation"
+    assert results["HC-90-10"].chaidnn_fps >= 0.85 * iso_fps
+    fps_series = [results[f"HC-{x}-{y}"].chaidnn_fps for x, y in SHARES]
+    dma_series = [results[f"HC-{x}-{y}"].dma_rate for x, y in SHARES]
+    assert all(a >= b for a, b in zip(fps_series, fps_series[1:]))
+    assert all(a <= b for a, b in zip(dma_series, dma_series[1:]))
+    # every HC configuration gives CHaiDNN at least its reserved share
+    for (x, __), fps in zip(SHARES, fps_series):
+        expected_floor = min(1.0, x / 100 * 1.2)  # memory is ~45 % of a
+        # frame at this scale, so fps degrades slower than the share
+        assert fps >= iso_fps * min(x / 100, expected_floor) * 0.5

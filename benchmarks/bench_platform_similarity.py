@@ -1,0 +1,61 @@
+"""Cross-platform check: Zynq-7020 vs ZCU102.
+
+The paper: "The experiments have been conducted on both a Xilinx ZYNQ
+Z-7020 platform and a Xilinx ZCU102 ZYNQ Ultrascale+ platform, obtaining
+similar results.  Due to lack of space, we report just the results for
+the ZYNQ Ultrascale+ platform."  This bench runs the headline latency
+experiments on the Zynq-7020 model (100 MHz, 64-bit port, DDR3 timing)
+and verifies that the same conclusions hold there.
+"""
+
+from repro.analysis import improvement
+from repro.platforms import ZCU102, ZYNQ_7020
+from repro.system import measure_access_time, measure_channel_latencies
+
+from conftest import publish
+
+
+def _run_both_platforms():
+    results = {}
+    for platform in (ZYNQ_7020, ZCU102):
+        hc = measure_channel_latencies("hyperconnect", platform)
+        sc = measure_channel_latencies("smartconnect", platform)
+        word = platform.hp_data_bytes
+        access = {
+            "1 word": (measure_access_time("hyperconnect", word, platform),
+                       measure_access_time("smartconnect", word, platform)),
+            "16-word": (
+                measure_access_time("hyperconnect", 16 * word, platform),
+                measure_access_time("smartconnect", 16 * word, platform)),
+        }
+        results[platform.name] = (hc, sc, access)
+    return results
+
+
+def test_platform_similarity(benchmark):
+    results = benchmark.pedantic(_run_both_platforms, rounds=1,
+                                 iterations=1)
+
+    rows = ["platform    d_AR (HC/SC)  d_R (HC/SC)  "
+            "1-word gain  16-word gain"]
+    gains = {}
+    for name, (hc, sc, access) in results.items():
+        word_gain = improvement(access["1 word"][1], access["1 word"][0])
+        burst_gain = improvement(access["16-word"][1],
+                                 access["16-word"][0])
+        gains[name] = (word_gain, burst_gain)
+        rows.append(f"{name:<12}{hc.ar}/{sc.ar:<11}{hc.r}/{sc.r:<10}"
+                    f"{word_gain:>11.1%}{burst_gain:>13.1%}")
+    publish("platform_similarity", "\n".join(rows))
+    benchmark.extra_info.update(
+        {name: {"word": word, "burst": burst}
+         for name, (word, burst) in gains.items()})
+
+    # "similar results": identical structural latencies, and access-time
+    # improvements within a few points of each other across platforms
+    for name, (hc, sc, __) in results.items():
+        assert (hc.ar, hc.r) == (4, 2), name
+        assert (sc.ar, sc.r) == (12, 11), name
+    z7, zu = gains["Zynq-7020"], gains["ZCU102"]
+    assert abs(z7[0] - zu[0]) < 0.05
+    assert abs(z7[1] - zu[1]) < 0.05

@@ -1,0 +1,45 @@
+"""Engineering benchmark: simulation kernel throughput.
+
+Not a paper figure — this tracks the simulator's own speed (simulated
+cycles per host second) on the reference two-master contention system, so
+performance regressions in the kernel or the models are caught by the
+benchmark history.  Uses real pytest-benchmark rounds since the run is
+short and repeatable.
+"""
+
+from repro.masters import GreedyTrafficGenerator
+from repro.platforms import ZCU102
+from repro.system import SocSystem
+
+from conftest import publish
+
+CYCLES = 20_000
+
+
+def _build():
+    soc = SocSystem.build(ZCU102, n_ports=2, period=2048)
+    GreedyTrafficGenerator(soc.sim, "a", soc.port(0), job_bytes=8192,
+                           depth=4)
+    GreedyTrafficGenerator(soc.sim, "b", soc.port(1), job_bytes=8192,
+                           depth=4)
+    soc.driver.set_bandwidth_shares({0: 0.5, 1: 0.5})
+    return soc
+
+
+def test_sim_throughput(benchmark):
+    def run_window():
+        # building is part of the measured cost but is negligible next
+        # to 20k cycles of two saturating masters
+        soc = _build()
+        soc.sim.run(CYCLES)
+        return soc
+
+    soc = benchmark(run_window)
+    cycles_per_second = CYCLES / benchmark.stats["mean"]
+    publish("sim_throughput",
+            f"reference contention system: "
+            f"{cycles_per_second:,.0f} simulated cycles / host second\n"
+            f"(window {CYCLES} cycles, mean wall time "
+            f"{benchmark.stats['mean'] * 1e3:.1f} ms)")
+    benchmark.extra_info["cycles_per_second"] = cycles_per_second
+    assert cycles_per_second > 10_000   # sanity floor

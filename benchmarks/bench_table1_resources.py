@@ -1,0 +1,50 @@
+"""Table I: resource consumption on the ZCU102 (N = 2 configuration).
+
+Paper result: HyperConnect 3020 LUT / 1289 FF / 0 BRAM / 0 DSP versus
+SmartConnect 3785 LUT / 7137 FF / 0 / 0 — the slim open architecture
+undercuts the closed baseline on both logic and registers while adding
+functionality the baseline lacks.
+"""
+
+from repro.platforms import ZCU102
+from repro.resources import (
+    hyperconnect_breakdown,
+    hyperconnect_resources,
+    resource_table,
+    smartconnect_resources,
+)
+
+from conftest import publish
+
+
+def _estimate():
+    return (hyperconnect_resources(2), smartconnect_resources(2),
+            hyperconnect_breakdown(2))
+
+
+def test_table1_resources(benchmark):
+    hc, sc, breakdown = benchmark.pedantic(_estimate, rounds=1,
+                                           iterations=1)
+    lines = [resource_table(ZCU102, n_ports=2), "",
+             "HyperConnect per-module breakdown (estimator):"]
+    for module, estimate in breakdown.items():
+        lines.append(f"  {module:<26}{estimate.lut:>6} LUT"
+                     f"{estimate.ff:>7} FF")
+    lines.append("")
+    lines.append("scaling trend (ports -> LUT/FF):")
+    for n_ports in (2, 4, 8, 16):
+        hc_n = hyperconnect_resources(n_ports)
+        sc_n = smartconnect_resources(n_ports)
+        lines.append(f"  N={n_ports:<3} HC {hc_n.lut:>6}/{hc_n.ff:<6} "
+                     f"SC {sc_n.lut:>6}/{sc_n.ff:<6}")
+    publish("table1_resources", "\n".join(lines))
+
+    benchmark.extra_info.update({
+        "hc_lut": hc.lut, "hc_ff": hc.ff,
+        "sc_lut": sc.lut, "sc_ff": sc.ff,
+    })
+
+    # Table I, verbatim
+    assert (hc.lut, hc.ff, hc.bram, hc.dsp) == (3020, 1289, 0, 0)
+    assert (sc.lut, sc.ff, sc.bram, sc.dsp) == (3785, 7137, 0, 0)
+    assert hc.lut < sc.lut and hc.ff < sc.ff

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper.  Besides the
+pytest-benchmark wall-clock numbers, each bench renders the paper-style
+result table: it is printed (visible with ``-s``) and also written to
+``benchmarks/results/<name>.txt`` so the reproduction record persists
+regardless of terminal capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"== {name} " + "=" * max(0, 66 - len(name))
+    output = f"{banner}\n{text.rstrip()}\n"
+    print("\n" + output)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(output, encoding="utf-8")

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Isolating a misbehaving hardware accelerator at runtime.
+
+The scenario from the paper's introduction: a low-criticality HA starts
+flooding the shared bus ("a bandwidth-stealer HA could be deployed to
+jeopardize the entire FPGA subsystem"), delaying a high-criticality
+periodic accelerator.  The hypervisor reacts in two escalating steps,
+both pure register writes on the HyperConnect control interface:
+
+1. **contain** — impose a bandwidth reservation on the rogue port, and
+2. **decouple** — disconnect the port entirely (the paper's decoupling
+   feature, useful against faulty silicon), without ever deadlocking the
+   shared path thanks to the EXBAR's flush logic.
+
+The report shows the victim's deadline-miss ratio in each phase.
+
+Run with::
+
+    python examples/misbehaving_ha.py
+"""
+
+from repro.hypervisor import Criticality, Hypervisor, SystemIntegrator
+from repro.ipxact import accelerator_component
+from repro.masters import GreedyTrafficGenerator, PeriodicTrafficGenerator
+from repro.platforms import ZCU102
+from repro.system import SocSystem
+
+PHASE = 300_000     # cycles per observation phase
+PERIOD = 2000       # victim's activation period
+# the victim needs ~70 % of the bus inside each period, so plain fair
+# arbitration (a 50 % share) is NOT enough — only an explicit reservation
+# or decoupling of the rogue restores its deadlines
+JOB_BYTES = 16384   # victim's per-activation traffic (1024 beats)
+
+
+class PhaseReport:
+    """Tracks the victim's deadline misses per experiment phase."""
+
+    def __init__(self, victim):
+        self.victim = victim
+        self._last_releases = 0
+        self._last_misses = 0
+
+    def settle(self):
+        """Discard the counters accumulated so far (phase warm-up).
+
+        Releases queued during an earlier overload phase drain for a
+        while after the policy changes; the steady-state behaviour of a
+        phase is what the report should show.
+        """
+        self._last_releases = self.victim.releases
+        self._last_misses = self.victim.deadline_misses
+
+    def snapshot(self, label):
+        releases = self.victim.releases - self._last_releases
+        misses = self.victim.deadline_misses - self._last_misses
+        self._last_releases = self.victim.releases
+        self._last_misses = self.victim.deadline_misses
+        ratio = misses / releases if releases else 0.0
+        print(f"  {label:<34} releases={releases:<5} misses={misses:<5} "
+              f"miss-ratio={ratio:.0%}")
+        return ratio
+
+
+def main() -> None:
+    soc = SocSystem.build(ZCU102, interconnect="hyperconnect", n_ports=2,
+                          period=1024)
+    hypervisor = Hypervisor(soc.interconnect)
+    hypervisor.create_domain("control-loop", Criticality.HIGH)
+    hypervisor.create_domain("3rd-party", Criticality.LOW)
+    integrator = SystemIntegrator(ZCU102)
+    integrator.add_accelerator(
+        accelerator_component("sensor_fusion"), "control-loop")
+    integrator.add_accelerator(
+        accelerator_component("codec"), "3rd-party")
+    hypervisor.boot(integrator.integrate())
+
+    victim = PeriodicTrafficGenerator(soc.sim, "sensor-fusion",
+                                      soc.port(0), period=PERIOD,
+                                      job_bytes=JOB_BYTES)
+    rogue = GreedyTrafficGenerator(soc.sim, "codec", soc.port(1),
+                                   job_bytes=65536, burst_len=256,
+                                   depth=4, write_fraction=0.5)
+    report = PhaseReport(victim)
+    print("phase-by-phase deadline behaviour of the critical HA:")
+
+    # phase 1: healthy system (rogue not yet misbehaving)
+    rogue.enabled = False
+    soc.sim.run(PHASE)
+    healthy = report.snapshot("1. nominal operation")
+
+    # phase 2: the rogue floods the bus
+    rogue.enabled = True
+    soc.sim.run(PHASE)
+    flooded = report.snapshot("2. rogue flooding, unsupervised")
+
+    # phase 3: hypervisor containment via bandwidth reservation
+    hypervisor.apply_bandwidth_policy({"control-loop": 0.8,
+                                       "3rd-party": 0.2})
+    soc.sim.run(PHASE)          # overload backlog drains
+    report.settle()
+    soc.sim.run(PHASE)
+    contained = report.snapshot("3. 80/20 reservation imposed")
+
+    # phase 4: full isolation (decoupling)
+    hypervisor.isolate_domain("3rd-party")
+    soc.sim.run(PHASE // 4)
+    report.settle()
+    soc.sim.run(PHASE)
+    isolated = report.snapshot("4. rogue domain decoupled")
+
+    print()
+    print(f"rogue traffic while decoupled: "
+          f"{'none' if not soc.driver.is_coupled(1) else 'STILL ACTIVE'}")
+    print(f"flush beats injected to keep the bus safe: "
+          f"{soc.interconnect.exbar.flush_beats}")
+    assert flooded > 0.5, "the rogue must visibly break the victim"
+    assert contained < 0.05 and isolated < 0.05, \
+        "supervision must restore the victim's deadlines"
+    print("containment restored the critical accelerator's deadlines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Mixed-criticality deployment: the paper's full considered framework.
+
+Walks the complete Section IV flow end to end:
+
+1. two independently developed applications deliver their accelerators
+   as IP-XACT packages — a HIGH-criticality vision domain (CHaiDNN-like
+   DNN accelerator) and a LOW-criticality logging domain (bulk DMA);
+2. the *system integrator* validates the packages and produces the FPGA
+   design (our bitstream stand-in, sealed with an integrity signature);
+3. the type-1 *hypervisor* boots the design, routes interrupts, denies
+   guests access to the HyperConnect control interface, and programs a
+   70/30 bandwidth reservation;
+4. both accelerators run concurrently; the report shows the DNN domain
+   sustaining its frame rate despite the greedy DMA — the Fig. 5 story.
+
+Run with::
+
+    python examples/mixed_criticality.py
+"""
+
+from repro.hypervisor import (
+    AccessViolation,
+    Criticality,
+    Hypervisor,
+    SystemIntegrator,
+)
+from repro.ipxact import accelerator_component, write_component
+from repro.masters import AxiDma, ChaiDnnAccelerator, DmaDescriptor
+from repro.platforms import ZCU102
+from repro.system import SocSystem
+
+WINDOW = 600_000            # observation window, PL cycles
+SCALE = 1 / 64              # workload scale (see EXPERIMENTS.md)
+
+
+def package_accelerators(tmpdir="/tmp"):
+    """Step 1: applications package their IPs (IP-XACT)."""
+    dnn = accelerator_component("chaidnn_core", vendor="vision-corp")
+    dma = accelerator_component("bulk_dma", vendor="logging-inc")
+    # round-trip through XML like a real delivery would
+    write_component(dnn, f"{tmpdir}/chaidnn_core.xml")
+    write_component(dma, f"{tmpdir}/bulk_dma.xml")
+    return dnn, dma
+
+
+def integrate(dnn, dma):
+    """Step 2: the system integrator builds and seals the design."""
+    integrator = SystemIntegrator(ZCU102)
+    integrator.add_accelerator(dnn, "vision")
+    integrator.add_accelerator(dma, "logging")
+    design = integrator.integrate()
+    assert design.verify(), "sealed design must verify"
+    print(f"integrated design: {design.n_ports} ports, "
+          f"signature {design.signature[:16]}...")
+    return design
+
+
+def main() -> None:
+    dnn_ip, dma_ip = package_accelerators()
+
+    soc = SocSystem.build(ZCU102, interconnect="hyperconnect", n_ports=2,
+                          period=2048)
+    hypervisor = Hypervisor(soc.interconnect)
+    hypervisor.create_domain("vision", Criticality.HIGH,
+                             bandwidth_share=0.7)
+    hypervisor.create_domain("logging", Criticality.LOW,
+                             bandwidth_share=0.3)
+
+    design = integrate(dnn_ip, dma_ip)
+    hypervisor.boot(design)
+    print("booted; vision on ports", hypervisor.ports_of("vision"),
+          "/ logging on ports", hypervisor.ports_of("logging"))
+
+    # step 3b: a guest trying to reprogram the interconnect is denied
+    try:
+        hypervisor.guest_configure_hyperconnect("logging")
+    except AccessViolation as violation:
+        print(f"guest reconfiguration denied, as required: {violation}")
+
+    # step 4: instantiate the accelerator models on their ports
+    chaidnn = ChaiDnnAccelerator(soc.sim, "chaidnn", soc.port(0),
+                                 scale=SCALE)
+    hypervisor.attach_accelerator("vision", 0, chaidnn)
+    dma = AxiDma(soc.sim, "bulk-dma", soc.port(1), burst_len=64)
+    hypervisor.attach_accelerator("logging", 1, dma)
+    dma.program([DmaDescriptor("read", 0x1000_0000, 65536),
+                 DmaDescriptor("write", 0x2000_0000, 65536)], repeat=True)
+
+    chaidnn.start()
+    dma.start()
+    soc.sim.run(WINDOW)
+
+    fps = chaidnn.frame_rate.rate(WINDOW)
+    dma_rate = dma.round_rate.rate(WINDOW)
+    irqs = hypervisor.interrupts.delivered_total
+    print()
+    print(f"after {WINDOW} cycles "
+          f"({ZCU102.cycles_to_seconds(WINDOW) * 1e3:.1f} ms):")
+    print(f"  vision  : {chaidnn.frames_completed} frames "
+          f"({fps:.0f} scaled fps) at 70% reserved bandwidth")
+    print(f"  logging : {dma.rounds_completed} DMA rounds "
+          f"({dma_rate:.0f} rounds/s) at 30% reserved bandwidth")
+    print(f"  interrupts routed by the hypervisor: {irqs}")
+    reads = soc.driver.issued(0)["read"] + soc.driver.issued(1)["read"]
+    print(f"  sub-transactions issued (reads, both ports): {reads}")
+
+    # sanity: the critical domain kept the lion's share
+    vision_bytes = chaidnn.bytes_read + chaidnn.bytes_written
+    logging_bytes = dma.bytes_read + dma.bytes_written
+    share = vision_bytes / (vision_bytes + logging_bytes)
+    print(f"  observed vision byte share: {share:.0%} (reserved: 70%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+the legacy ``pip install -e . --no-use-pep517`` editable path (PEP 660
+editable installs require ``wheel``, which offline machines may lack).
+"""
+
+from setuptools import setup
+
+setup()

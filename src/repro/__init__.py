@@ -1,0 +1,42 @@
+"""repro — cycle-accurate reproduction of the AXI HyperConnect (DAC 2020).
+
+A production-quality Python simulation library reproducing *"AXI
+HyperConnect: A Predictable, Hypervisor-level Interconnect for Hardware
+Accelerators in FPGA SoC"* (Restuccia, Biondi, Marinoni, Cicero, Buttazzo —
+DAC 2020): the HyperConnect IP itself, a SmartConnect baseline, the AXI
+protocol substrate, the PS/DRAM memory subsystem, DMA and CHaiDNN-like
+accelerator models, a hypervisor layer, and closed-form predictability
+analysis.
+
+Quickstart::
+
+    from repro.system import SocSystem
+    from repro.platforms import ZCU102
+    from repro.masters import AxiDma
+
+    soc = SocSystem.build(ZCU102, interconnect="hyperconnect", n_ports=2)
+    dma = AxiDma(soc.sim, "dma0", soc.port(0))
+    dma.enqueue_read(0x1000_0000, 4096)
+    soc.run_until_quiescent()
+    print(dma.job_latency.as_dict())
+"""
+
+__version__ = "1.0.0"
+
+from . import axi, masters, memory, platforms, sim
+from .hyperconnect import HyperConnect, HyperConnectDriver
+from .smartconnect import SmartConnect
+from .system import SocSystem
+
+__all__ = [
+    "axi",
+    "masters",
+    "memory",
+    "platforms",
+    "sim",
+    "HyperConnect",
+    "HyperConnectDriver",
+    "SmartConnect",
+    "SocSystem",
+    "__version__",
+]

@@ -1,0 +1,102 @@
+"""Closed-form propagation-latency model.
+
+The HyperConnect's open architecture makes it "amenable to low-level
+inspection to extract worst-case timing bounds".  This module captures the
+per-channel propagation latencies as functions of the pipeline structure
+(Section V-B / Fig. 3a) so that experiments and users can compare analytic
+values against simulation:
+
+* address channels traverse four registered stages — slave eFIFO, TS,
+  EXBAR, master eFIFO — one cycle each;
+* data/response channels traverse only the two eFIFOs (TS and EXBAR act
+  proactively).
+
+The SmartConnect values are the paper's *measured* ones (its internals are
+closed); they are constants, not structure-derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..memory.dram import DramTiming
+
+#: pipeline stages traversed by address requests inside the HyperConnect
+HYPERCONNECT_ADDRESS_STAGES = ("efifo_slave", "ts", "exbar", "efifo_master")
+#: stages traversed by data/response beats (proactive routing in between)
+HYPERCONNECT_DATA_STAGES = ("efifo_slave", "efifo_master")
+
+
+def hyperconnect_propagation() -> Dict[str, int]:
+    """Per-channel propagation latency of the HyperConnect, in cycles."""
+    address = len(HYPERCONNECT_ADDRESS_STAGES)
+    data = len(HYPERCONNECT_DATA_STAGES)
+    return {"AR": address, "AW": address, "R": data, "W": data, "B": data}
+
+
+def smartconnect_propagation() -> Dict[str, int]:
+    """Measured per-channel SmartConnect latency (paper Fig. 3a)."""
+    return {"AR": 12, "AW": 12, "R": 11, "W": 3, "B": 2}
+
+
+def read_propagation(latencies: Dict[str, int]) -> int:
+    """Total interconnect latency on a read: d_AR + d_R."""
+    return latencies["AR"] + latencies["R"]
+
+
+def write_propagation(latencies: Dict[str, int]) -> int:
+    """Total interconnect latency on a write: d_AW + d_W + d_B."""
+    return latencies["AW"] + latencies["W"] + latencies["B"]
+
+
+def improvement(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` (0..1)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - improved) / baseline
+
+
+@dataclass(frozen=True)
+class AccessTimeModel:
+    """Analytic end-to-end memory access time in an uncontended system.
+
+    For a read burst of ``beats`` data beats:
+
+    ``t = d_AR + L_mem + (beats - 1) + d_R``
+
+    where ``L_mem`` is the memory subsystem's command-to-first-data
+    latency and the data bus streams one beat per cycle afterwards.
+    """
+
+    latencies: Dict[str, int]
+    memory: DramTiming
+
+    def read_access_cycles(self, beats: int) -> int:
+        """Cycles from AR issue to the last R beat at the master."""
+        if beats < 1:
+            raise ValueError("beats must be >= 1")
+        return (self.latencies["AR"] + self.memory.read_latency
+                + (beats - 1) + self.latencies["R"])
+
+    def write_access_cycles(self, beats: int) -> int:
+        """Cycles from AW issue to the B response at the master."""
+        if beats < 1:
+            raise ValueError("beats must be >= 1")
+        return (self.latencies["AW"] + self.memory.write_latency
+                + (beats - 1) + self.memory.resp_latency
+                + self.latencies["B"])
+
+    def streaming_cycles(self, total_beats: int, burst: int,
+                         outstanding: int) -> int:
+        """Lower bound for a pipelined multi-burst read.
+
+        With enough outstanding transactions (``outstanding * burst >=``
+        round-trip latency) the data bus never idles after the first
+        burst, so the total time is the first-access latency plus one
+        cycle per remaining beat.
+        """
+        if total_beats < burst:
+            return self.read_access_cycles(total_beats)
+        first = self.read_access_cycles(burst)
+        return first + (total_beats - burst)

@@ -1,0 +1,142 @@
+"""Passive measurement probes.
+
+These are the simulation-world equivalent of the paper's custom FPGA timer:
+they attach to channels and measure propagation latencies and bandwidth
+without perturbing the traffic.
+
+* :class:`PropagationProbe` measures, beat by beat, the delay between a
+  beat's appearance on an upstream channel and its (or its split
+  descendant's) appearance on a downstream channel — this is what produces
+  the per-channel latencies of Fig. 3(a).
+* :class:`ChannelThroughputProbe` counts beats/bytes through a channel and
+  converts them to bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.channel import Channel
+from ..sim.stats import OnlineStats
+from .payloads import AddrBeat, RespBeat
+
+
+def _match_key(item) -> int:
+    """Identity key used to pair a beat across two channels.
+
+    Address beats are keyed by their *origin* (pre-split) request so that a
+    probe spanning the Transaction Supervisor still pairs correctly.  Write
+    responses are re-created at the merge point, so they are keyed by the
+    origin of the (sub-)write they acknowledge.  Data beats are forwarded
+    as the same Python objects, so plain identity works.
+    """
+    if isinstance(item, AddrBeat):
+        return id(item.origin())
+    if isinstance(item, RespBeat) and item.addr_beat is not None:
+        return id(item.addr_beat.origin())
+    return id(item)
+
+
+class PropagationProbe:
+    """Measures push-to-push delay of beats between two channels.
+
+    Parameters
+    ----------
+    channel_in / channel_out:
+        Upstream and downstream observation points.  Entry is stamped when
+        the beat is *pushed* upstream (the producer asserting VALID); exit
+        is stamped when the beat is *popped* downstream (the consumer
+        completing the handshake) — so a chain of k unit-latency stages
+        measures k cycles, matching the paper's channel-latency
+        definition.  When a burst is split in between, the first
+        sub-burst's arrival defines the latency (what a hardware timer
+        would see).
+    exit_on:
+        ``"pop"`` (default, see above) or ``"push"`` to stamp the exit at
+        the downstream push instead.
+    max_samples:
+        Stop collecting after this many matched samples (keeps memory
+        bounded on long runs).
+    """
+
+    def __init__(self, channel_in: Channel, channel_out: Channel,
+                 max_samples: Optional[int] = None,
+                 exit_on: str = "pop") -> None:
+        if exit_on not in ("pop", "push"):
+            raise ValueError("exit_on must be 'pop' or 'push'")
+        self.stats = OnlineStats()
+        self.max_samples = max_samples
+        self._entry: Dict[int, int] = {}
+        channel_in.subscribe_push(self._on_in)
+        if exit_on == "pop":
+            channel_out.subscribe_pop(self._on_out)
+        else:
+            channel_out.subscribe_push(self._on_out)
+
+    def _active(self) -> bool:
+        return (self.max_samples is None
+                or self.stats.count < self.max_samples)
+
+    def _on_in(self, cycle: int, item) -> None:
+        if not self._active():
+            return
+        self._entry.setdefault(_match_key(item), cycle)
+
+    def _on_out(self, cycle: int, item) -> None:
+        if not self._active():
+            return
+        entered = self._entry.pop(_match_key(item), None)
+        if entered is not None:
+            self.stats.add(cycle - entered)
+
+    @property
+    def latency_max(self) -> Optional[float]:
+        """Worst observed propagation latency in cycles."""
+        return self.stats.maximum
+
+    @property
+    def latency_mean(self) -> float:
+        """Mean observed propagation latency in cycles."""
+        return self.stats.mean
+
+
+class ChannelThroughputProbe:
+    """Counts traffic through a channel and reports bandwidth.
+
+    Beats are counted on *pop* (i.e. when actually consumed downstream),
+    which is the point where bandwidth is truly delivered.
+    """
+
+    def __init__(self, channel: Channel, data_bytes: int) -> None:
+        self.data_bytes = data_bytes
+        self.beats = 0
+        self.first_cycle: Optional[int] = None
+        self.last_cycle: Optional[int] = None
+        channel.subscribe_pop(self._on_pop)
+
+    def _on_pop(self, cycle: int, item) -> None:
+        if self.first_cycle is None:
+            self.first_cycle = cycle
+        self.last_cycle = cycle
+        self.beats += 1
+
+    @property
+    def bytes_total(self) -> int:
+        """Total bytes observed."""
+        return self.beats * self.data_bytes
+
+    def bandwidth_bytes_per_cycle(self,
+                                  window_cycles: Optional[int] = None
+                                  ) -> float:
+        """Average delivered bandwidth.
+
+        If ``window_cycles`` is omitted, the window spans from the first to
+        the last observed beat (steady-state bandwidth).
+        """
+        if self.beats == 0:
+            return 0.0
+        if window_cycles is None:
+            if self.last_cycle is None or self.first_cycle is None:
+                return 0.0
+            window_cycles = max(1, self.last_cycle - self.first_cycle + 1)
+        return self.bytes_total / window_cycles

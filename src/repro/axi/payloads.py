@@ -1,0 +1,194 @@
+"""Wire-level AXI payload objects and transaction bookkeeping.
+
+Three kinds of objects travel on the simulated channels:
+
+* :class:`AddrBeat` — one AR or AW request (a whole burst's address phase);
+* :class:`WriteBeat` — one W data beat;
+* :class:`DataBeat` — one R data beat;
+* :class:`RespBeat` — one B write response.
+
+A :class:`Transaction` is *not* a wire object: it is the master-side
+bookkeeping record of a whole logical read or write, carrying the cycle
+stamps the monitors use to compute response times.  When the Transaction
+Supervisor splits a burst into nominal-size sub-bursts, the sub-``AddrBeat``
+objects keep a ``parent`` reference to the original request so that data can
+be merged back and probes can attribute latency to the original transaction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .types import BurstType, ChannelName, Resp
+
+_txn_counter = itertools.count(1)
+
+
+def _next_serial() -> int:
+    """Globally unique serial for transactions (debugging/tracing)."""
+    return next(_txn_counter)
+
+
+@dataclass
+class Transaction:
+    """Master-side record of one logical read or write burst.
+
+    The cycle stamps are filled in as the transaction progresses:
+    ``issued`` when the master pushes the address beat, ``first_data`` /
+    ``last_data`` as data beats reach (reads) or leave (writes) the master,
+    ``completed`` when the last R beat (reads) or the B response (writes)
+    arrives back at the master.
+    """
+
+    kind: str                      # "read" or "write"
+    master: str                    # issuing master's name
+    address: int
+    length: int                    # beats in the original burst
+    size_bytes: int                # bytes per beat
+    burst: BurstType = BurstType.INCR
+    serial: int = field(default_factory=_next_serial)
+    issued: Optional[int] = None
+    first_data: Optional[int] = None
+    last_data: Optional[int] = None
+    completed: Optional[int] = None
+    resp: Resp = Resp.OKAY
+    data: Optional[bytes] = None   # write payload / assembled read result
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def bytes_total(self) -> int:
+        """Bytes moved by this transaction."""
+        return self.length * self.size_bytes
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Cycles from issue to completion, if complete."""
+        if self.issued is None or self.completed is None:
+            return None
+        return self.completed - self.issued
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Transaction(#{self.serial} {self.kind} {self.master} "
+                f"addr=0x{self.address:x} len={self.length})")
+
+
+@dataclass
+class AddrBeat:
+    """One AR/AW request: the address phase of a burst."""
+
+    channel: ChannelName           # ChannelName.AR or ChannelName.AW
+    txn_id: int                    # AXI ID (unique per master in-flight)
+    address: int
+    length: int                    # beats
+    size_bytes: int
+    burst: BurstType = BurstType.INCR
+    qos: int = 0
+    port: Optional[int] = None     # interconnect input-port index
+    parent: Optional["AddrBeat"] = None   # original beat if this is a split
+    #: True when this is the last (or only) sub-burst of its original
+    #: request — the merge logic re-asserts RLAST / forwards B only here.
+    final_sub: bool = True
+    #: accumulated response of already-merged sub-bursts (kept on the
+    #: origin beat; "worst response wins")
+    resp_acc: Resp = Resp.OKAY
+    txn: Optional[Transaction] = None
+    stamps: Dict[str, int] = field(default_factory=dict)
+
+    def origin(self) -> "AddrBeat":
+        """The original (pre-split) request this beat derives from."""
+        beat = self
+        while beat.parent is not None:
+            beat = beat.parent
+        return beat
+
+    @property
+    def is_read(self) -> bool:
+        """True for AR beats."""
+        return self.channel is ChannelName.AR
+
+    def split_child(self, address: int, length: int,
+                    final_sub: bool) -> "AddrBeat":
+        """Create a nominal-size sub-request of this burst."""
+        return AddrBeat(
+            channel=self.channel,
+            txn_id=self.txn_id,
+            address=address,
+            length=length,
+            size_bytes=self.size_bytes,
+            burst=self.burst,
+            qos=self.qos,
+            port=self.port,
+            parent=self,
+            final_sub=final_sub,
+            txn=self.txn,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = " (split)" if self.parent is not None else ""
+        return (f"AddrBeat({self.channel.value} id={self.txn_id} "
+                f"addr=0x{self.address:x} len={self.length}{tag})")
+
+
+@dataclass
+class WriteBeat:
+    """One W data beat."""
+
+    last: bool
+    data: Optional[bytes] = None
+    strobe: Optional[int] = None   # byte-enable mask; None = all bytes
+    addr_beat: Optional[AddrBeat] = None  # the (sub-)AW this beat belongs to
+    stamps: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class DataBeat:
+    """One R data beat."""
+
+    last: bool
+    txn_id: int = 0
+    data: Optional[bytes] = None
+    resp: Resp = Resp.OKAY
+    addr_beat: Optional[AddrBeat] = None  # the (sub-)AR this beat answers
+    stamps: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RespBeat:
+    """One B write response."""
+
+    txn_id: int = 0
+    resp: Resp = Resp.OKAY
+    addr_beat: Optional[AddrBeat] = None  # the (sub-)AW this acknowledges
+    stamps: Dict[str, int] = field(default_factory=dict)
+
+
+def make_read_request(txn: Transaction, txn_id: int,
+                      qos: int = 0) -> AddrBeat:
+    """Build the AR beat for a read transaction."""
+    return AddrBeat(
+        channel=ChannelName.AR,
+        txn_id=txn_id,
+        address=txn.address,
+        length=txn.length,
+        size_bytes=txn.size_bytes,
+        burst=txn.burst,
+        qos=qos,
+        txn=txn,
+    )
+
+
+def make_write_request(txn: Transaction, txn_id: int,
+                       qos: int = 0) -> AddrBeat:
+    """Build the AW beat for a write transaction."""
+    return AddrBeat(
+        channel=ChannelName.AW,
+        txn_id=txn_id,
+        address=txn.address,
+        length=txn.length,
+        size_bytes=txn.size_bytes,
+        burst=txn.burst,
+        qos=qos,
+        txn=txn,
+    )

@@ -1,0 +1,95 @@
+"""AXI link: the five-channel bundle between a master and a slave.
+
+An :class:`AxiLink` owns one :class:`repro.sim.Channel` per AXI channel.
+Direction conventions (fixed by the AXI standard):
+
+* the master pushes AR, AW and W and pops R and B;
+* the slave pops AR, AW and W and pushes R and B.
+
+Every channel is a registered FIFO with one cycle of latency by default, so
+each link boundary behaves like one pipeline stage — exactly the latency
+model the paper uses for the eFIFO interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.channel import Channel
+from .types import AxiVersion, check_beat_size
+
+
+class AxiLink:
+    """A point-to-point AXI connection (five channels).
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Prefix for the five channel names (``name.AR`` etc.).
+    data_bytes:
+        Bus width in bytes (AxSIZE of full-width beats).
+    version:
+        AXI3 or AXI4; constrains legal burst lengths.
+    latency:
+        Register latency of each channel: either a single int (default one
+        cycle, applied to all five channels) or a dict mapping channel
+        roles (``"AR"``, ``"AW"``, ``"W"``, ``"R"``, ``"B"``) to cycles —
+        used to model multi-stage pipelines such as the SmartConnect's
+        measured per-channel latencies.
+    addr_depth / data_depth:
+        FIFO depths for the address (AR/AW, B) and data (R/W) channels.
+        ``None`` means unbounded (useful for idealized sinks in tests).
+    """
+
+    def __init__(self, sim, name: str, data_bytes: int = 16,
+                 version: AxiVersion = AxiVersion.AXI4,
+                 latency=1,
+                 addr_depth: Optional[int] = 8,
+                 data_depth: Optional[int] = 64) -> None:
+        check_beat_size(data_bytes)
+        self.sim = sim
+        self.name = name
+        self.data_bytes = data_bytes
+        self.version = version
+        per_channel = latency if isinstance(latency, dict) else {}
+        default = 1 if isinstance(latency, dict) else latency
+        lat = {role: per_channel.get(role, default)
+               for role in ("AR", "AW", "W", "R", "B")}
+        self.ar = self._make_channel("AR", lat["AR"], addr_depth)
+        self.aw = self._make_channel("AW", lat["AW"], addr_depth)
+        self.w = self._make_channel("W", lat["W"], data_depth)
+        self.r = self._make_channel("R", lat["R"], data_depth)
+        self.b = self._make_channel("B", lat["B"], addr_depth)
+
+    def _make_channel(self, role: str, latency: int,
+                      capacity: Optional[int]) -> Channel:
+        """Create one channel; subclasses may specialize (e.g. gating).
+
+        Capacity is widened to ``latency + 1`` when needed so that deeper
+        pipeline latencies never throttle throughput by themselves.
+        """
+        if capacity is not None:
+            capacity = max(capacity, latency + 1)
+        return Channel(self.sim, f"{self.name}.{role}", latency, capacity)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def channels(self):
+        """The five channels as a tuple (AR, AW, W, R, B)."""
+        return (self.ar, self.aw, self.w, self.r, self.b)
+
+    def is_idle(self) -> bool:
+        """True when no beat is queued or in flight on any channel."""
+        return all(channel.is_idle for channel in self.channels)
+
+    def clear(self) -> None:
+        """Drop all in-flight beats (reset helper)."""
+        for channel in self.channels:
+            channel.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AxiLink({self.name!r}, data_bytes={self.data_bytes}, "
+                f"version={self.version.name})")

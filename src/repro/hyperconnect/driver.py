@@ -1,0 +1,186 @@
+"""Open-source driver for the AXI HyperConnect.
+
+The paper ships the HyperConnect with "an open-source driver to control
+it"; this module is that driver's Python equivalent.  It speaks exclusively
+through the register map (:mod:`repro.hyperconnect.regs`), so everything it
+does could equally be performed by a processor writing the memory-mapped
+control interface — which is exactly how the hypervisor model uses it.
+
+The most important convenience is :meth:`HyperConnectDriver.set_bandwidth_shares`,
+which converts the "HC-X-Y" percentage notation of the paper's Fig. 5 into
+reservation budgets: a port reserved fraction ``f`` of the bus receives
+``floor(f * T / nominal_burst)`` sub-transaction slots per period (each
+equalized sub-transaction occupies ``nominal_burst`` data-bus cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..sim.errors import ConfigurationError
+from .hyperconnect import HyperConnect
+from .regs import (
+    BUDGET_UNLIMITED,
+    PORT_BUDGET,
+    PORT_CTRL,
+    PORT_ISSUED_READ,
+    PORT_ISSUED_WRITE,
+    PORT_MAX_OUTSTANDING,
+    PORT_NOMINAL_BURST,
+    REG_CTRL,
+    REG_N_PORTS,
+    REG_PERIOD,
+    RegisterFile,
+    port_register,
+)
+
+
+class HyperConnectDriver:
+    """Typed API over the HyperConnect register map."""
+
+    def __init__(self, target) -> None:
+        """``target`` may be a :class:`HyperConnect` or a raw
+        :class:`RegisterFile` (e.g. one reached through a control link)."""
+        if isinstance(target, HyperConnect):
+            self.regs: RegisterFile = target.regs
+        elif isinstance(target, RegisterFile):
+            self.regs = target
+        else:
+            raise ConfigurationError(
+                f"driver target must be HyperConnect or RegisterFile, "
+                f"got {type(target).__name__}")
+
+    # ------------------------------------------------------------------
+    # global controls
+    # ------------------------------------------------------------------
+
+    @property
+    def n_ports(self) -> int:
+        """Number of slave ports of the attached IP."""
+        return self.regs.read(REG_N_PORTS)
+
+    def enable(self) -> None:
+        """Allow all (coupled) ports to forward transactions."""
+        self.regs.write(REG_CTRL, self.regs.read(REG_CTRL) | 1)
+
+    def disable(self) -> None:
+        """Globally freeze new request forwarding (in-flight completes)."""
+        self.regs.write(REG_CTRL, self.regs.read(REG_CTRL) & ~1)
+
+    def set_period(self, cycles: int) -> None:
+        """Set the reservation period T (common to all ports)."""
+        if cycles < 1:
+            raise ConfigurationError("period must be >= 1 cycle")
+        self.regs.write(REG_PERIOD, cycles)
+
+    @property
+    def period(self) -> int:
+        """Current reservation period T in cycles."""
+        return self.regs.read(REG_PERIOD)
+
+    # ------------------------------------------------------------------
+    # per-port controls
+    # ------------------------------------------------------------------
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise ConfigurationError(
+                f"port {port} out of range (0..{self.n_ports - 1})")
+
+    def couple(self, port: int) -> None:
+        """(Re)connect a port to the memory subsystem."""
+        self._check_port(port)
+        self.regs.write(port_register(port, PORT_CTRL), 1)
+
+    def decouple(self, port: int) -> None:
+        """Disconnect a port (isolating a misbehaving/faulty HA)."""
+        self._check_port(port)
+        self.regs.write(port_register(port, PORT_CTRL), 0)
+
+    def is_coupled(self, port: int) -> bool:
+        """Whether the port may currently exchange data."""
+        self._check_port(port)
+        return bool(self.regs.read(port_register(port, PORT_CTRL)) & 1)
+
+    def set_nominal_burst(self, port: int, beats: int) -> None:
+        """Set the equalization burst size of a port."""
+        self._check_port(port)
+        if beats < 1:
+            raise ConfigurationError("nominal burst must be >= 1 beat")
+        self.regs.write(port_register(port, PORT_NOMINAL_BURST), beats)
+
+    def set_max_outstanding(self, port: int, limit: int) -> None:
+        """Set the outstanding sub-transaction limit of a port."""
+        self._check_port(port)
+        if limit < 1:
+            raise ConfigurationError("outstanding limit must be >= 1")
+        self.regs.write(port_register(port, PORT_MAX_OUTSTANDING), limit)
+
+    def set_budget(self, port: int, transactions: Optional[int]) -> None:
+        """Set a port's reservation budget (``None`` = unlimited)."""
+        self._check_port(port)
+        if transactions is None:
+            self.regs.write(port_register(port, PORT_BUDGET),
+                            BUDGET_UNLIMITED)
+            return
+        if transactions < 0:
+            raise ConfigurationError("budget must be >= 0")
+        self.regs.write(port_register(port, PORT_BUDGET), transactions)
+
+    def issued(self, port: int) -> Dict[str, int]:
+        """Live issue counters of a port."""
+        self._check_port(port)
+        return {
+            "read": self.regs.read(port_register(port, PORT_ISSUED_READ)),
+            "write": self.regs.read(port_register(port, PORT_ISSUED_WRITE)),
+        }
+
+    # ------------------------------------------------------------------
+    # bandwidth-reservation convenience (the HC-X-Y notation of Fig. 5)
+    # ------------------------------------------------------------------
+
+    def budget_for_share(self, fraction: float, period: Optional[int] = None,
+                         nominal_burst: int = 16) -> int:
+        """Sub-transaction budget reserving ``fraction`` of the data bus.
+
+        Each equalized sub-transaction moves ``nominal_burst`` beats and
+        the bus streams one beat per cycle, so a period of T cycles offers
+        ``T / nominal_burst`` transaction slots in total.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"bandwidth fraction must be in (0, 1], got {fraction}")
+        if period is None:
+            period = self.period
+        return max(1, int(fraction * period / nominal_burst))
+
+    def set_bandwidth_shares(self, shares: Mapping[int, float],
+                             period: Optional[int] = None) -> Dict[int, int]:
+        """Program budgets so each port gets its fraction of the bus.
+
+        ``shares`` maps port index to a bandwidth fraction (fractions may
+        sum to <= 1.0; ports not mentioned keep their current budget).
+        Returns the budgets programmed, per port.
+
+        Semantics note: a budget is a *cap* ([10]), not a priority —
+        arbitration stays round-robin among ports with budget left.  A
+        port is therefore only guaranteed more than its fair 1/N share
+        when every competitor is capped below its own fair share, which
+        is why the paper's HC-X-Y configurations always program both the
+        reserved fraction X and its complement Y.
+        """
+        total = sum(shares.values())
+        if total > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"bandwidth shares sum to {total:.3f} > 1")
+        if period is not None:
+            self.set_period(period)
+        budgets: Dict[int, int] = {}
+        for port, fraction in shares.items():
+            self._check_port(port)
+            nominal = self.regs.read(
+                port_register(port, PORT_NOMINAL_BURST))
+            budget = self.budget_for_share(fraction, self.period, nominal)
+            self.set_budget(port, budget)
+            budgets[port] = budget
+        return budgets

@@ -1,0 +1,227 @@
+"""EXBAR: the efficient crossbar of the AXI HyperConnect.
+
+The EXBAR solves conflicts between the address requests propagated by the
+Transaction Supervisors using **round-robin arbitration with a fixed
+granularity of one transaction per TS module per round-cycle** — the
+property that bounds per-transaction interference to ``N - 1`` competing
+transactions (versus ``g * (N - 1)`` for interconnects with variable
+granularity ``g``).
+
+It also keeps the *routing information* — the order in which requests were
+granted — in circular buffers, and uses it to route the R, W and B channels
+**proactively**: data and response beats are moved directly between the
+master-side queues and the per-port eFIFO queues with no additional
+latency, exactly matching the paper's latency budget (one cycle through
+the EXBAR on address requests, zero on data/response channels).
+
+Merge duties performed while routing (burst equalization bookkeeping):
+
+* R: RLAST is cleared on the last beat of non-final sub-bursts so the HA
+  sees a single seamless burst;
+* W: beats from the granted port are re-chunked with WLAST per sub-burst;
+* B: responses of non-final sub-writes are absorbed (their response code
+  folded into the origin's accumulator); only the final sub-write's B —
+  carrying the merged "worst" response — reaches the HA.
+
+Decoupling safety: if a port is decoupled while its sub-transactions are
+in flight, returning R/B beats are dropped (and counted) and owed W beats
+are injected as null flush beats, so a misbehaving HA can never deadlock
+the shared path — an isolation property the hypervisor relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from ..axi.payloads import AddrBeat, RespBeat, WriteBeat
+from ..axi.port import AxiLink
+from ..sim.channel import Channel
+from ..sim.component import Component
+from .efifo import EFifoLink
+from .supervisor import TransactionSupervisor
+
+
+class Exbar(Component):
+    """The crossbar and proactive data-path router.
+
+    Parameters
+    ----------
+    supervisors:
+        The per-port TS modules (completion notifications flow back to
+        them so outstanding counters stay accurate).
+    ts_ar / ts_aw:
+        Per-port registered channels carrying sub-requests from the TSs.
+    ha_links:
+        Per-port eFIFO links (data-path endpoints on the HA side).
+    out_ar / out_aw:
+        Registered single-stage channels towards the master eFIFO; their
+        latency is the EXBAR's address-path latency.
+    master_link:
+        The HyperConnect's master-side link (data-path endpoint towards
+        the FPGA-PS interface).
+    """
+
+    def __init__(self, sim, name: str,
+                 supervisors: List[TransactionSupervisor],
+                 ts_ar: List[Channel], ts_aw: List[Channel],
+                 ha_links: List[EFifoLink],
+                 out_ar: Channel, out_aw: Channel,
+                 master_link: AxiLink) -> None:
+        super().__init__(sim, name)
+        if not (len(supervisors) == len(ts_ar) == len(ts_aw)
+                == len(ha_links)):
+            raise ValueError("per-port argument lists must align")
+        self.supervisors = supervisors
+        self.ts_ar = ts_ar
+        self.ts_aw = ts_aw
+        self.ha_links = ha_links
+        self.out_ar = out_ar
+        self.out_aw = out_aw
+        self.master_link = master_link
+        self.n_ports = len(supervisors)
+        self._rr_ar = 0
+        self._rr_aw = 0
+        #: routing information (circular buffers in the RTL): grant order
+        #: of sub-reads / sub-writes, consumed by the R / W+B routers
+        self._route_r: Deque[list] = deque()
+        self._route_w: Deque[list] = deque()
+        self._route_b: Deque[AddrBeat] = deque()
+        self.grants_ar = 0
+        self.grants_aw = 0
+        self.dropped_beats = 0   # beats destined to a decoupled port
+        self.flush_beats = 0     # null W beats injected for decoupled ports
+
+    # ------------------------------------------------------------------
+    # arbitration (address channels)
+    # ------------------------------------------------------------------
+
+    def _arbitrate(self, inputs: List[Channel], pointer: int,
+                   output: Channel) -> tuple:
+        """One round-robin grant with fixed granularity of one transaction.
+
+        Returns ``(granted_beat, next_pointer)``; ``(None, pointer)`` when
+        nothing could be granted this cycle.
+        """
+        if not output.can_push():
+            return None, pointer
+        for offset in range(self.n_ports):
+            port = (pointer + offset) % self.n_ports
+            if inputs[port].can_pop():
+                beat = inputs[port].pop()
+                output.push(beat)
+                # granularity 1: the pointer moves past the granted port
+                return beat, (port + 1) % self.n_ports
+        return None, pointer
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        granted, self._rr_ar = self._arbitrate(self.ts_ar, self._rr_ar,
+                                               self.out_ar)
+        if granted is not None:
+            granted.stamps["exbar_grant"] = cycle
+            self.grants_ar += 1
+            self._route_r.append([granted.port, granted, granted.length])
+        granted, self._rr_aw = self._arbitrate(self.ts_aw, self._rr_aw,
+                                               self.out_aw)
+        if granted is not None:
+            granted.stamps["exbar_grant"] = cycle
+            self.grants_aw += 1
+            self._route_w.append([granted.port, granted, granted.length])
+            self._route_b.append(granted)
+        self._route_write_data(cycle)
+        self._route_read_data(cycle)
+        self._route_write_responses(cycle)
+
+    # ------------------------------------------------------------------
+    # proactive data-path routing
+    # ------------------------------------------------------------------
+
+    def _route_write_data(self, cycle: int) -> None:
+        """Move one W beat from the granted port to the master side."""
+        if not self._route_w or not self.master_link.w.can_push():
+            return
+        entry = self._route_w[0]
+        port, sub, beats_left = entry
+        link = self.ha_links[port]
+        if not link.coupled:
+            # flush: complete the owed sub-burst with null beats so the
+            # memory subsystem (and every other port) is never blocked by
+            # a decoupled HA
+            beat = WriteBeat(last=beats_left == 1, data=None, addr_beat=sub)
+            self.flush_beats += 1
+        elif link.w.can_pop():
+            beat = link.w.pop()
+            beat.last = beats_left == 1
+            beat.addr_beat = sub
+        else:
+            return
+        self.master_link.w.push(beat)
+        entry[2] -= 1
+        if entry[2] == 0:
+            self._route_w.popleft()
+
+    def _route_read_data(self, cycle: int) -> None:
+        """Route one R beat from the master side to its port."""
+        if not self.master_link.r.can_pop():
+            return
+        if not self._route_r:
+            return
+        entry = self._route_r[0]
+        port, sub, beats_left = entry
+        link = self.ha_links[port]
+        beat = self.master_link.r.front()
+        if link.coupled:
+            if not link.r.can_push():
+                return  # backpressure towards the memory side
+            self.master_link.r.pop()
+            if beat.last and not sub.final_sub:
+                beat.last = False   # seam between merged sub-bursts
+            beat.addr_beat = sub
+            link.r.push(beat)
+        else:
+            self.master_link.r.pop()
+            self.dropped_beats += 1
+        entry[2] -= 1
+        if entry[2] == 0:
+            self._route_r.popleft()
+            self.supervisors[port].note_read_complete()
+
+    def _route_write_responses(self, cycle: int) -> None:
+        """Consume one B response, merging per the equalization rules."""
+        if not self.master_link.b.can_pop() or not self._route_b:
+            return
+        sub = self._route_b[0]
+        port = sub.port
+        link = self.ha_links[port]
+        origin = sub.origin()
+        response = self.master_link.b.front()
+        if sub.final_sub and link.coupled:
+            if not link.b.can_push():
+                return
+            self.master_link.b.pop()
+            merged = origin.resp_acc.merged_with(response.resp)
+            link.b.push(RespBeat(txn_id=origin.txn_id, resp=merged,
+                                 addr_beat=origin))
+        else:
+            self.master_link.b.pop()
+            origin.resp_acc = origin.resp_acc.merged_with(response.resp)
+            if sub.final_sub:
+                self.dropped_beats += 1
+        self._route_b.popleft()
+        self.supervisors[port].note_write_complete()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def routing_backlog(self) -> int:
+        """Entries currently held in the routing-information buffers."""
+        return len(self._route_r) + len(self._route_w) + len(self._route_b)
+
+    def reset(self) -> None:
+        self._rr_ar = 0
+        self._rr_aw = 0
+        self._route_r.clear()
+        self._route_w.clear()
+        self._route_b.clear()

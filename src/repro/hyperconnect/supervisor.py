@@ -1,0 +1,195 @@
+"""Transaction Supervisor (TS): per-port bandwidth and access management.
+
+The TS is "the core module of the AXI HyperConnect concerning bandwidth and
+memory access management".  One TS instance supervises one input port and
+implements, per the paper:
+
+* **burst equalization** (mechanism of [11]): incoming read/write requests
+  are split into sub-requests of a *nominal burst size*; the returning data
+  and responses are merged back transparently (the merge itself is carried
+  out on the proactive data paths, see :mod:`repro.hyperconnect.exbar`);
+* **outstanding-transaction limiting** ([11]): at most a programmable
+  number of sub-transactions of each port are in flight;
+* **bandwidth reservation** (mechanism of [10]): each port holds a budget
+  of sub-transactions that is consumed on every issued sub-request and
+  recharged synchronously every reservation period by the central unit;
+* **decoupling**: a decoupled port's requests are neither popped nor
+  forwarded (the eFIFO gate additionally holds the HA-side handshake low).
+
+The TS adds exactly one cycle of latency on each address request — its
+output channel is a single registered stage — and zero latency on the
+R/W/B channels, which it manages proactively via routing metadata.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from ..axi.burst import split_burst
+from ..axi.payloads import AddrBeat
+from ..sim.channel import Channel
+from ..sim.component import Component
+from ..sim.errors import ConfigurationError
+from .efifo import EFifoLink
+
+
+@dataclass
+class PortConfig:
+    """Runtime-reconfigurable parameters of one input port.
+
+    Mutated by the register-file callbacks; read by the TS every cycle.
+    """
+
+    nominal_burst: int = 16
+    max_outstanding: int = 8
+    #: sub-transactions per reservation period; ``None`` = unlimited
+    budget: Optional[int] = None
+    #: counters exposed through the read-only ISSUED_* registers
+    issued_read: int = field(default=0)
+    issued_write: int = field(default=0)
+
+    def validate(self) -> None:
+        """Raise on inconsistent values (driver-level guard)."""
+        if self.nominal_burst < 1:
+            raise ConfigurationError("nominal_burst must be >= 1")
+        if self.max_outstanding < 1:
+            raise ConfigurationError("max_outstanding must be >= 1")
+        if self.budget is not None and self.budget < 0:
+            raise ConfigurationError("budget must be >= 0 or None")
+
+
+class TransactionSupervisor(Component):
+    """Supervises one HyperConnect input port.
+
+    Parameters
+    ----------
+    ha_link:
+        The port's :class:`~repro.hyperconnect.efifo.EFifoLink` (HA side).
+    out_ar / out_aw:
+        Registered single-stage channels towards the EXBAR; their one
+        cycle of latency is the TS's address-path latency.
+    config:
+        Shared :class:`PortConfig` (also mutated via the register file).
+    """
+
+    def __init__(self, sim, name: str, port_index: int,
+                 ha_link: EFifoLink, out_ar: Channel, out_aw: Channel,
+                 config: Optional[PortConfig] = None) -> None:
+        super().__init__(sim, name)
+        self.port_index = port_index
+        self.ha_link = ha_link
+        self.out_ar = out_ar
+        self.out_aw = out_aw
+        self.config = config if config is not None else PortConfig()
+        self.config.validate()
+        #: sub-requests produced by the splitter, awaiting issue
+        self._pending_ar: Deque[AddrBeat] = deque()
+        self._pending_aw: Deque[AddrBeat] = deque()
+        #: in-flight sub-transactions (issued, not yet completed)
+        self.outstanding_reads = 0
+        self.outstanding_writes = 0
+        #: remaining reservation budget in the current period
+        self.budget_remaining: Optional[int] = self.config.budget
+        #: global enable flag mirrored from the central unit
+        self.enabled = True
+        self.stalled_on_budget = 0   # cycles a request waited on budget
+        self.splits_performed = 0
+
+    # ------------------------------------------------------------------
+    # central-unit interface
+    # ------------------------------------------------------------------
+
+    def recharge(self) -> None:
+        """Synchronous budget recharge at the reservation period boundary."""
+        self.budget_remaining = self.config.budget
+
+    def note_read_complete(self) -> None:
+        """A sub-read's last data beat was delivered (EXBAR callback)."""
+        if self.outstanding_reads <= 0:
+            raise ConfigurationError(
+                f"{self.name}: read completion with none outstanding")
+        self.outstanding_reads -= 1
+
+    def note_write_complete(self) -> None:
+        """A sub-write's response arrived (EXBAR callback)."""
+        if self.outstanding_writes <= 0:
+            raise ConfigurationError(
+                f"{self.name}: write completion with none outstanding")
+        self.outstanding_writes -= 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def coupled(self) -> bool:
+        """Mirrors the eFIFO gate state."""
+        return self.ha_link.coupled
+
+    def _budget_available(self) -> bool:
+        if self.budget_remaining is None:
+            return True
+        return self.budget_remaining > 0
+
+    def _consume_budget(self) -> None:
+        if self.budget_remaining is not None:
+            self.budget_remaining -= 1
+
+    def _split(self, beat: AddrBeat) -> Deque[AddrBeat]:
+        """Equalize one request to the nominal burst size."""
+        nominal = self.config.nominal_burst
+        beat.port = self.port_index
+        if beat.length <= nominal:
+            beat.final_sub = True
+            return deque((beat,))
+        pieces = split_burst(beat.address, beat.length, beat.size_bytes,
+                             nominal)
+        self.splits_performed += 1
+        return deque(
+            beat.split_child(addr, length, final_sub=index == len(pieces) - 1)
+            for index, (addr, length) in enumerate(pieces))
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        if not self.coupled or not self.enabled:
+            return
+        # ingest at most one new request per channel per cycle, keeping the
+        # pending queues shallow (the eFIFO provides the real buffering)
+        if not self._pending_ar and self.ha_link.ar.can_pop():
+            self._pending_ar = self._split(self.ha_link.ar.pop())
+        if not self._pending_aw and self.ha_link.aw.can_pop():
+            self._pending_aw = self._split(self.ha_link.aw.pop())
+        # forward at most one sub-request per address channel per cycle,
+        # subject to the outstanding limit and the reservation budget
+        if self._pending_ar:
+            if (self.outstanding_reads < self.config.max_outstanding
+                    and self._budget_available()
+                    and self.out_ar.can_push()):
+                sub = self._pending_ar.popleft()
+                sub.stamps["ts_forward"] = cycle
+                self.out_ar.push(sub)
+                self.outstanding_reads += 1
+                self._consume_budget()
+                self.config.issued_read += 1
+            elif not self._budget_available():
+                self.stalled_on_budget += 1
+        if self._pending_aw:
+            if (self.outstanding_writes < self.config.max_outstanding
+                    and self._budget_available()
+                    and self.out_aw.can_push()):
+                sub = self._pending_aw.popleft()
+                sub.stamps["ts_forward"] = cycle
+                self.out_aw.push(sub)
+                self.outstanding_writes += 1
+                self._consume_budget()
+                self.config.issued_write += 1
+            elif not self._budget_available():
+                self.stalled_on_budget += 1
+
+    def reset(self) -> None:
+        self._pending_ar.clear()
+        self._pending_aw.clear()
+        self.outstanding_reads = 0
+        self.outstanding_writes = 0
+        self.budget_remaining = self.config.budget

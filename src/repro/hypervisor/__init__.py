@@ -1,0 +1,28 @@
+"""Type-1 hypervisor layer: domains, isolation, integration flow."""
+
+from .accessctl import AccessControl, AccessViolation, ViolationRecord
+from .domain import Criticality, Domain, MemoryRegion
+from .hypervisor import (
+    HYPERCONNECT_CTRL_BASE,
+    HYPERCONNECT_CTRL_SIZE,
+    Hypervisor,
+)
+from .integration import FpgaDesign, PlacedAccelerator, SystemIntegrator
+from .interrupts import Interrupt, InterruptController
+
+__all__ = [
+    "AccessControl",
+    "AccessViolation",
+    "ViolationRecord",
+    "Criticality",
+    "Domain",
+    "MemoryRegion",
+    "HYPERCONNECT_CTRL_BASE",
+    "HYPERCONNECT_CTRL_SIZE",
+    "Hypervisor",
+    "FpgaDesign",
+    "PlacedAccelerator",
+    "SystemIntegrator",
+    "Interrupt",
+    "InterruptController",
+]

@@ -1,0 +1,82 @@
+"""Control-plane access control (the memory-virtualization stand-in).
+
+"The hypervisor is in charge of granting access from each application to
+the corresponding HAs only (via standard memory virtualization)": guests
+reach their own accelerators' control registers, and nothing else — in
+particular, never the HyperConnect's control interface, which belongs to
+the hypervisor alone.
+
+This module models that second-stage translation at the granularity the
+experiments need: per-domain allowed ranges, explicit deny of the
+HyperConnect register window, and an audit trail of violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.errors import ReproError
+from .domain import Domain, MemoryRegion
+
+
+class AccessViolation(ReproError):
+    """A domain attempted an access outside its granted ranges."""
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """Audit entry for a denied access."""
+
+    domain: str
+    address: int
+    count: int
+    reason: str
+
+
+class AccessControl:
+    """Second-stage access control over the control plane.
+
+    Parameters
+    ----------
+    hyperconnect_window:
+        The HyperConnect control-register range; always denied to guests
+        regardless of their grants (defence in depth).
+    """
+
+    def __init__(self, hyperconnect_window: MemoryRegion) -> None:
+        self.hyperconnect_window = hyperconnect_window
+        self._grants: Dict[str, List[MemoryRegion]] = {}
+        self.violations: List[ViolationRecord] = []
+
+    def grant(self, domain: Domain, region: MemoryRegion) -> None:
+        """Allow ``domain`` to access ``region`` (control registers of its
+        own HAs, its DRAM buffers, ...)."""
+        if region.overlaps(self.hyperconnect_window):
+            raise AccessViolation(
+                f"cannot grant {domain.name!r} a region overlapping the "
+                f"HyperConnect control window")
+        self._grants.setdefault(domain.name, []).append(region)
+
+    def check(self, domain: Domain, address: int, count: int = 4) -> None:
+        """Validate a guest access; raises :class:`AccessViolation`.
+
+        Every violation is also recorded for auditing (a real hypervisor
+        would inject a fault into the guest).
+        """
+        probe = MemoryRegion(address, count)
+        if probe.overlaps(self.hyperconnect_window):
+            self._deny(domain, address, count,
+                       "HyperConnect control interface is hypervisor-only")
+        for region in self._grants.get(domain.name, []):
+            if region.contains(address, count):
+                return
+        self._deny(domain, address, count, "no matching grant")
+
+    def _deny(self, domain: Domain, address: int, count: int,
+              reason: str) -> None:
+        record = ViolationRecord(domain.name, address, count, reason)
+        self.violations.append(record)
+        raise AccessViolation(
+            f"domain {domain.name!r} denied at 0x{address:x} "
+            f"(+{count}): {reason}")

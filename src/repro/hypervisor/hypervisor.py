@@ -1,0 +1,179 @@
+"""The type-1 hypervisor model.
+
+The AXI HyperConnect is "conceived as a hypervisor-level hardware
+component (i.e., a hardware extension of the hypervisor)".  This class
+models the hypervisor responsibilities the paper enumerates:
+
+* **booting a design**: only the hypervisor programs the bitstream;
+  applications are denied FPGA configuration (a sealed
+  :class:`~repro.hypervisor.integration.FpgaDesign` whose signature fails
+  to verify is refused);
+* **granting each application access to its own HAs only** — modelled by
+  :class:`~repro.hypervisor.accessctl.AccessControl`;
+* **routing HA interrupts** to their domains;
+* **configuring the AXI HyperConnect**: bandwidth reservations per domain,
+  nominal bursts, outstanding limits, and runtime isolation (decoupling)
+  of misbehaving domains — all through the open-source driver, i.e. the
+  memory-mapped control interface that guests can never reach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..hyperconnect.driver import HyperConnectDriver
+from ..hyperconnect.hyperconnect import HyperConnect
+from ..masters.engine import AxiMasterEngine
+from ..sim.errors import ConfigurationError
+from .accessctl import AccessControl, AccessViolation
+from .domain import Criticality, Domain, MemoryRegion
+from .integration import FpgaDesign
+from .interrupts import InterruptController
+
+#: default placement of the HyperConnect control window in the PS map
+HYPERCONNECT_CTRL_BASE = 0xA000_0000
+HYPERCONNECT_CTRL_SIZE = 0x1000
+
+
+class Hypervisor:
+    """Type-1 hypervisor supervising one FPGA SoC.
+
+    Parameters
+    ----------
+    hyperconnect:
+        The fabric interconnect under hypervisor control.  The paper's
+        whole point is that a plain interconnect offers no such control —
+        passing a SmartConnect here raises.
+    """
+
+    def __init__(self, hyperconnect: HyperConnect) -> None:
+        if not isinstance(hyperconnect, HyperConnect):
+            raise ConfigurationError(
+                "hypervisor-level control requires an AXI HyperConnect "
+                f"(got {type(hyperconnect).__name__}); state-of-the-art "
+                "interconnects expose no control interface")
+        self.hyperconnect = hyperconnect
+        self.driver = HyperConnectDriver(hyperconnect)
+        self.domains: Dict[str, Domain] = {}
+        self.access = AccessControl(MemoryRegion(
+            HYPERCONNECT_CTRL_BASE, HYPERCONNECT_CTRL_SIZE))
+        self.interrupts = InterruptController()
+        self.design: Optional[FpgaDesign] = None
+
+    # ------------------------------------------------------------------
+    # domain lifecycle
+    # ------------------------------------------------------------------
+
+    def create_domain(self, name: str,
+                      criticality: Criticality = Criticality.LOW,
+                      bandwidth_share: Optional[float] = None) -> Domain:
+        """Register an execution domain."""
+        if name in self.domains:
+            raise ConfigurationError(f"domain {name!r} already exists")
+        domain = Domain(name=name, criticality=criticality,
+                        bandwidth_share=bandwidth_share)
+        self.domains[name] = domain
+        return domain
+
+    def domain(self, name: str) -> Domain:
+        """Look up a domain by name."""
+        try:
+            return self.domains[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown domain {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # boot flow
+    # ------------------------------------------------------------------
+
+    def boot(self, design: FpgaDesign) -> None:
+        """Program the 'bitstream' and bind ports/IRQs to domains.
+
+        Domains referenced by the design must have been created first;
+        a tampered design (bad signature) is refused.
+        """
+        if not design.verify():
+            raise ConfigurationError(
+                "design signature verification failed; refusing to "
+                "program the FPGA")
+        if design.n_ports != self.hyperconnect.n_ports:
+            raise ConfigurationError(
+                f"design has {design.n_ports} ports but the deployed "
+                f"HyperConnect has {self.hyperconnect.n_ports}")
+        for placed in design.accelerators:
+            domain = self.domain(placed.domain)
+            domain.ports.append(placed.port)
+            self.interrupts.route(placed.irq, placed.domain)
+        self.design = design
+        # apply any statically declared bandwidth policy
+        shares = {name: d.bandwidth_share for name, d in self.domains.items()
+                  if d.bandwidth_share is not None and d.ports}
+        if shares:
+            self.apply_bandwidth_policy(shares)
+
+    # ------------------------------------------------------------------
+    # HyperConnect policy (hypervisor-only)
+    # ------------------------------------------------------------------
+
+    def apply_bandwidth_policy(self, shares: Dict[str, float],
+                               period: Optional[int] = None) -> None:
+        """Reserve bandwidth per domain (split evenly over its ports)."""
+        port_shares: Dict[int, float] = {}
+        for name, fraction in shares.items():
+            domain = self.domain(name)
+            if not domain.ports:
+                raise ConfigurationError(
+                    f"domain {name!r} has no ports bound")
+            per_port = fraction / len(domain.ports)
+            for port in domain.ports:
+                port_shares[port] = per_port
+            domain.bandwidth_share = fraction
+        self.driver.set_bandwidth_shares(port_shares, period=period)
+
+    def isolate_domain(self, name: str) -> None:
+        """Decouple every port of a (misbehaving) domain."""
+        domain = self.domain(name)
+        for port in domain.ports:
+            self.driver.decouple(port)
+        domain.isolated = True
+
+    def restore_domain(self, name: str) -> None:
+        """Re-couple a previously isolated domain."""
+        domain = self.domain(name)
+        for port in domain.ports:
+            self.driver.couple(port)
+        domain.isolated = False
+
+    # ------------------------------------------------------------------
+    # guest-side services
+    # ------------------------------------------------------------------
+
+    def guest_access(self, domain_name: str, address: int,
+                     count: int = 4) -> None:
+        """Validate a guest control-plane access (raises on violation)."""
+        self.access.check(self.domain(domain_name), address, count)
+
+    def guest_configure_hyperconnect(self, domain_name: str,
+                                     offset: int = 0) -> None:
+        """What happens when a guest tries to reprogram the interconnect:
+        always an :class:`AccessViolation` — by construction the control
+        interface is mapped to the hypervisor only."""
+        self.guest_access(domain_name, HYPERCONNECT_CTRL_BASE + offset)
+
+    def attach_accelerator(self, domain_name: str, port: int,
+                           engine: AxiMasterEngine) -> None:
+        """Hook an accelerator model's completion events to the domain's
+        interrupt line (the HA raising its IRQ on job completion)."""
+        domain = self.domain(domain_name)
+        if port not in domain.ports:
+            raise AccessViolation(
+                f"domain {domain_name!r} does not own port {port}")
+        engine.on_job_complete(
+            lambda job, cycle: self.interrupts.raise_irq(
+                port, engine.name, cycle))
+
+    # ------------------------------------------------------------------
+
+    def ports_of(self, domain_name: str) -> List[int]:
+        """The HyperConnect ports owned by a domain."""
+        return list(self.domain(domain_name).ports)

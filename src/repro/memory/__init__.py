@@ -1,0 +1,21 @@
+"""PS-side memory substrate: backing store, DRAM controller, FPGA-PS port."""
+
+from .dram import DramTiming, MemorySubsystem
+from .faulty import FaultInjectingMemory
+from .multiport import MultiPortMemorySubsystem
+from .ooo import OutOfOrderMemory
+from .psport import AxiPipe, FpgaPsPort
+from .qos400 import PsQosRegulator
+from .store import MemoryStore
+
+__all__ = [
+    "DramTiming",
+    "MemorySubsystem",
+    "FaultInjectingMemory",
+    "MultiPortMemorySubsystem",
+    "OutOfOrderMemory",
+    "AxiPipe",
+    "FpgaPsPort",
+    "PsQosRegulator",
+    "MemoryStore",
+]

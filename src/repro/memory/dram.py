@@ -1,0 +1,250 @@
+"""In-order DRAM controller model.
+
+The paper relies on one property of real FPGA SoC memory subsystems
+(UG585/UG1085): transactions that enter the PS through an FPGA-PS port are
+served **in order**.  This model reproduces that behaviour with a unified
+command queue, a single shared data bus (one beat per cycle), and pipelined
+command processing: while one burst streams its data, the access latency of
+the next command overlaps — so back-to-back requests sustain full bus
+bandwidth, but an isolated request pays the full access latency.
+
+Timing is configurable through :class:`DramTiming`; an optional bank/row
+model adds row-hit/row-miss latency variation for studies that need it
+(disabled by default to keep the headline experiments deterministic).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from ..axi.burst import beat_addresses
+from ..axi.payloads import AddrBeat, DataBeat, RespBeat, WriteBeat
+from ..axi.port import AxiLink
+from ..axi.types import BurstType, Resp
+from ..sim.component import Component
+from ..sim.errors import ConfigurationError
+from ..sim.stats import OnlineStats
+from .store import MemoryStore
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Latency parameters of the memory subsystem, in PL clock cycles.
+
+    ``read_latency`` is the delay from a read command reaching the
+    controller to its first data beat (covers FPGA-PS port traversal,
+    controller queueing and CAS); calibrated in :mod:`repro.platforms` so
+    the paper's Fig. 3(b) improvement percentages emerge.
+    """
+
+    read_latency: int = 37
+    write_latency: int = 12
+    resp_latency: int = 4
+    #: optional row-buffer model: extra cycles on a row miss.  ``None``
+    #: disables the bank/row model entirely.
+    row_miss_penalty: Optional[int] = None
+    row_bits: int = 13
+    bank_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.read_latency, self.write_latency, self.resp_latency) < 1:
+            raise ConfigurationError("DRAM latencies must be >= 1 cycle")
+
+
+@dataclass
+class _Command:
+    """One queued burst command."""
+
+    is_read: bool
+    beat: AddrBeat
+    arrival: int
+    beats_left: int
+    data_start: Optional[int] = None
+    address_cursor: int = 0
+    #: per-beat addresses for non-INCR bursts (FIXED repeats, WRAP wraps);
+    #: None for the common INCR case, where the cursor just increments
+    addresses: Optional[list] = None
+    beat_index: int = 0
+
+    def current_address(self) -> int:
+        if self.addresses is not None:
+            return self.addresses[self.beat_index]
+        return self.address_cursor
+
+    def step_address(self) -> None:
+        self.beat_index += 1
+        self.address_cursor += self.beat.size_bytes
+
+
+class MemorySubsystem(Component):
+    """The PS-side slave: FPGA-PS interface + DRAM controller + DRAM.
+
+    Parameters
+    ----------
+    sim, name:
+        Simulation bookkeeping.
+    link:
+        The AXI link whose slave side this component serves (it pops
+        AR/AW/W and pushes R/B).
+    timing:
+        :class:`DramTiming` latency parameters.
+    store:
+        Optional :class:`MemoryStore` for functional data; when ``None``
+        the model is timing-only (data fields stay ``None``), which is much
+        faster for long bandwidth experiments.
+    command_depth:
+        Capacity of the controller's command queue.  When it is full the
+        controller stops accepting AR/AW beats, back-pressuring the
+        interconnect — this is where upstream arbitration contention
+        becomes observable.
+    """
+
+    def __init__(self, sim, name: str, link: AxiLink,
+                 timing: DramTiming = DramTiming(),
+                 store: Optional[MemoryStore] = None,
+                 command_depth: int = 16) -> None:
+        super().__init__(sim, name)
+        if command_depth < 1:
+            raise ConfigurationError("command_depth must be >= 1")
+        self.link = link
+        self.timing = timing
+        self.store = store
+        self.command_depth = command_depth
+        self._commands: Deque[_Command] = deque()
+        self._current: Optional[_Command] = None
+        self._write_beats: Deque[WriteBeat] = deque()
+        self._pending_b: List[Tuple[int, RespBeat]] = []
+        self._bus_free_at = 0
+        #: open row per bank (bank/row model, when enabled)
+        self._open_rows = {}
+        self.queue_delay = OnlineStats()
+        self.reads_served = 0
+        self.writes_served = 0
+        self.beats_served = 0
+
+    # ------------------------------------------------------------------
+
+    def _row_penalty(self, address: int) -> int:
+        if self.timing.row_miss_penalty is None:
+            return 0
+        t = self.timing
+        bank = (address >> 12) & ((1 << t.bank_bits) - 1)
+        row = address >> (12 + t.bank_bits)
+        if self._open_rows.get(bank) == row:
+            return 0
+        self._open_rows[bank] = row
+        return t.row_miss_penalty
+
+    def _start_command(self, command: _Command, cycle: int) -> None:
+        base = (self.timing.read_latency if command.is_read
+                else self.timing.write_latency)
+        base += self._row_penalty(command.beat.address)
+        command.data_start = max(command.arrival + base, self._bus_free_at)
+        command.address_cursor = command.beat.address
+        if command.beat.burst is not BurstType.INCR:
+            command.addresses = beat_addresses(
+                command.beat.address, command.beat.length,
+                command.beat.size_bytes, command.beat.burst)
+        self.queue_delay.add(cycle - command.arrival)
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        # 1. ingest at most one address beat per channel per cycle while
+        #    the command queue has room (AR before AW: a fixed,
+        #    documented tie-break for determinism).
+        if (len(self._commands) < self.command_depth
+                and self.link.ar.can_pop()):
+            beat = self.link.ar.pop()
+            self._commands.append(
+                _Command(True, beat, cycle, beat.length))
+        if (len(self._commands) < self.command_depth
+                and self.link.aw.can_pop()):
+            beat = self.link.aw.pop()
+            self._commands.append(
+                _Command(False, beat, cycle, beat.length))
+        # 2. ingest one write-data beat per cycle
+        if self.link.w.can_pop():
+            self._write_beats.append(self.link.w.pop())
+        # 3. pick the next command when idle
+        if self._current is None and self._commands:
+            self._current = self._take_next_command(cycle)
+            self._start_command(self._current, cycle)
+        # 4. stream one data beat of the current command
+        if self._current is not None:
+            self._advance(self._current, cycle)
+        # 5. emit one due write response per cycle
+        if self._pending_b and self._pending_b[0][0] <= cycle:
+            if self.link.b.can_push():
+                __, resp = self._pending_b.pop(0)
+                self.link.b.push(resp)
+
+    # ------------------------------------------------------------------
+
+    def _take_next_command(self, cycle: int) -> _Command:
+        """Select and remove the command to serve next.
+
+        The base controller is strictly in-order (FIFO), which is what
+        today's FPGA SoC memory controllers implement and what the paper's
+        system assumes.  :class:`OutOfOrderMemory` overrides this.
+        """
+        return self._commands.popleft()
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, command: _Command, cycle: int) -> None:
+        if cycle < command.data_start:
+            return
+        beat_bytes = command.beat.size_bytes
+        if command.is_read:
+            if not self.link.r.can_push():
+                return  # backpressured: the bus slot is lost
+            data = None
+            if self.store is not None:
+                data = self.store.read(command.current_address(),
+                                       beat_bytes)
+            command.beats_left -= 1
+            self.link.r.push(DataBeat(
+                last=command.beats_left == 0,
+                txn_id=command.beat.txn_id,
+                data=data,
+                resp=Resp.OKAY,
+                addr_beat=command.beat,
+            ))
+        else:
+            if not self._write_beats:
+                return  # write data not here yet
+            wbeat = self._write_beats.popleft()
+            if self.store is not None and wbeat.data is not None:
+                self.store.write(command.current_address(), wbeat.data)
+            command.beats_left -= 1
+            if command.beats_left == 0:
+                self._pending_b.append((
+                    cycle + self.timing.resp_latency,
+                    RespBeat(txn_id=command.beat.txn_id,
+                             resp=Resp.OKAY,
+                             addr_beat=command.beat),
+                ))
+        command.step_address()
+        self.beats_served += 1
+        if command.beats_left == 0:
+            if command.is_read:
+                self.reads_served += 1
+            else:
+                self.writes_served += 1
+            self._bus_free_at = cycle + 1
+            self._current = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Commands queued but not yet started."""
+        return len(self._commands)
+
+    def idle(self) -> bool:
+        """True when no command is queued, active, or awaiting response."""
+        return (self._current is None and not self._commands
+                and not self._pending_b and not self._write_beats)

@@ -1,0 +1,96 @@
+"""Fault-injecting slave models for robustness testing.
+
+Safety-critical integration requires knowing how the fabric behaves when
+the *slave* side misbehaves — error responses, stalls, dead silence.
+These wrappers let the test-suite (and users validating their own HAs)
+inject such faults deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..axi.types import Resp
+from ..sim.errors import ConfigurationError
+from .dram import MemorySubsystem
+
+
+class FaultInjectingMemory(MemorySubsystem):
+    """Memory subsystem with deterministic, seeded fault injection.
+
+    Parameters (beyond :class:`MemorySubsystem`)
+    --------------------------------------------
+    error_rate:
+        Probability that a served beat/response carries SLVERR.
+    error_window:
+        Optional ``(base, end)`` address range; faults fire only inside
+        it (models one bad device behind the decoder).
+    stall_rate / stall_cycles:
+        Probability of freezing the data pipeline for ``stall_cycles``
+        before serving a beat (models controller hiccups / refresh).
+    seed:
+        All randomness is seeded — runs are reproducible.
+    """
+
+    def __init__(self, *args, error_rate: float = 0.0,
+                 error_window: Optional[tuple] = None,
+                 stall_rate: float = 0.0, stall_cycles: int = 20,
+                 seed: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= error_rate <= 1.0:
+            raise ConfigurationError("error_rate must be in [0, 1]")
+        if not 0.0 <= stall_rate <= 1.0:
+            raise ConfigurationError("stall_rate must be in [0, 1]")
+        if stall_cycles < 1:
+            raise ConfigurationError("stall_cycles must be >= 1")
+        self.error_rate = error_rate
+        self.error_window = error_window
+        self.stall_rate = stall_rate
+        self.stall_cycles = stall_cycles
+        self._rng = random.Random(seed)
+        self._stalled_until = 0
+        self.errors_injected = 0
+        self.stalls_injected = 0
+
+    # ------------------------------------------------------------------
+
+    def _fault_applies(self, address: int) -> bool:
+        if self.error_window is None:
+            return True
+        base, end = self.error_window
+        return base <= address < end
+
+    def _maybe_error(self, address: int) -> Resp:
+        if (self.error_rate > 0.0 and self._fault_applies(address)
+                and self._rng.random() < self.error_rate):
+            self.errors_injected += 1
+            return Resp.SLVERR
+        return Resp.OKAY
+
+    def _advance(self, command, cycle: int) -> None:
+        if cycle < self._stalled_until:
+            return
+        if (self.stall_rate > 0.0
+                and self._rng.random() < self.stall_rate):
+            self._stalled_until = cycle + self.stall_cycles
+            self.stalls_injected += 1
+            return
+        before = self.beats_served
+        super()._advance(command, cycle)
+        # fault the beat that was just emitted, if any
+        if self.beats_served > before:
+            resp = self._maybe_error(command.address_cursor
+                                     - command.beat.size_bytes)
+            if resp is not Resp.OKAY:
+                self._poison_last_emission(resp)
+
+    def _poison_last_emission(self, resp: Resp) -> None:
+        """Rewrite the response of the beat just pushed (R) or just
+        scheduled (B)."""
+        r_channel = self.link.r
+        if r_channel._staged:                      # read beat this cycle
+            r_channel._staged[-1].resp = resp
+            return
+        if self._pending_b:                        # write response due
+            self._pending_b[-1][1].resp = resp

@@ -1,0 +1,162 @@
+"""Multi-port memory subsystem: several FPGA-PS interfaces, one DRAM.
+
+Fig. 1 of the paper shows the real topology: the PS exposes *several*
+FPGA-PS slave ports (HP0..HP3 on Zynq devices), all funnelling into the
+single DRAM controller.  A system integrator may therefore deploy one
+HyperConnect per HP port; isolation then has two layers — per-HA within a
+HyperConnect, and per-port at the controller.
+
+:class:`MultiPortMemorySubsystem` models that: it serves N links with
+round-robin ingest fairness into one shared, bounded, in-order command
+queue and one shared data bus (one beat per cycle — the DRAM bottleneck),
+returning data and responses to the link each command arrived on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..axi.payloads import DataBeat, RespBeat, WriteBeat
+from ..axi.port import AxiLink
+from ..axi.types import Resp
+from ..sim.component import Component
+from ..sim.errors import ConfigurationError
+from ..sim.stats import OnlineStats
+from .dram import DramTiming
+from .store import MemoryStore
+
+
+class _PortedCommand:
+    """One queued burst command, remembering its source port."""
+
+    __slots__ = ("is_read", "beat", "arrival", "beats_left", "data_start",
+                 "address_cursor", "port")
+
+    def __init__(self, is_read, beat, arrival, port):
+        self.is_read = is_read
+        self.beat = beat
+        self.arrival = arrival
+        self.beats_left = beat.length
+        self.data_start = None
+        self.address_cursor = beat.address
+        self.port = port
+
+
+class MultiPortMemorySubsystem(Component):
+    """In-order DRAM controller shared by several FPGA-PS ports."""
+
+    def __init__(self, sim, name: str, links: List[AxiLink],
+                 timing: DramTiming = DramTiming(),
+                 store: Optional[MemoryStore] = None,
+                 command_depth: int = 16) -> None:
+        super().__init__(sim, name)
+        if not links:
+            raise ConfigurationError("at least one link required")
+        if command_depth < 1:
+            raise ConfigurationError("command_depth must be >= 1")
+        self.links = list(links)
+        self.timing = timing
+        self.store = store
+        self.command_depth = command_depth
+        self._commands: Deque[_PortedCommand] = deque()
+        self._current: Optional[_PortedCommand] = None
+        #: per-port write-data FIFOs (W beats follow AW order per port)
+        self._write_beats: List[Deque[WriteBeat]] = [
+            deque() for _ in links]
+        self._pending_b: List[Tuple[int, int, RespBeat]] = []
+        self._bus_free_at = 0
+        self._ingest_pointer = 0
+        self.queue_delay = OnlineStats()
+        self.beats_served = 0
+        self.per_port_beats = [0 for _ in links]
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        self._ingest(cycle)
+        if self._current is None and self._commands:
+            self._current = self._commands.popleft()
+            self._start(self._current, cycle)
+        if self._current is not None:
+            self._advance(self._current, cycle)
+        if self._pending_b and self._pending_b[0][0] <= cycle:
+            __, port, response = self._pending_b[0]
+            if self.links[port].b.can_push():
+                self._pending_b.pop(0)
+                self.links[port].b.push(response)
+
+    # ------------------------------------------------------------------
+
+    def _ingest(self, cycle: int) -> None:
+        """Round-robin ingest: one address beat per port per cycle,
+        starting from a rotating pointer so no port gets structural
+        priority when the command queue is scarce."""
+        n_ports = len(self.links)
+        for offset in range(n_ports):
+            port = (self._ingest_pointer + offset) % n_ports
+            link = self.links[port]
+            if (len(self._commands) < self.command_depth
+                    and link.ar.can_pop()):
+                beat = link.ar.pop()
+                self._commands.append(
+                    _PortedCommand(True, beat, cycle, port))
+            if (len(self._commands) < self.command_depth
+                    and link.aw.can_pop()):
+                beat = link.aw.pop()
+                self._commands.append(
+                    _PortedCommand(False, beat, cycle, port))
+            if link.w.can_pop():
+                self._write_beats[port].append(link.w.pop())
+        self._ingest_pointer = (self._ingest_pointer + 1) % n_ports
+
+    def _start(self, command: _PortedCommand, cycle: int) -> None:
+        base = (self.timing.read_latency if command.is_read
+                else self.timing.write_latency)
+        command.data_start = max(command.arrival + base,
+                                 self._bus_free_at)
+        self.queue_delay.add(cycle - command.arrival)
+
+    def _advance(self, command: _PortedCommand, cycle: int) -> None:
+        if cycle < command.data_start:
+            return
+        link = self.links[command.port]
+        beat_bytes = command.beat.size_bytes
+        if command.is_read:
+            if not link.r.can_push():
+                return
+            data = None
+            if self.store is not None:
+                data = self.store.read(command.address_cursor, beat_bytes)
+            command.beats_left -= 1
+            link.r.push(DataBeat(
+                last=command.beats_left == 0,
+                txn_id=command.beat.txn_id, data=data,
+                resp=Resp.OKAY, addr_beat=command.beat))
+        else:
+            queue = self._write_beats[command.port]
+            if not queue:
+                return
+            wbeat = queue.popleft()
+            if self.store is not None and wbeat.data is not None:
+                self.store.write(command.address_cursor, wbeat.data)
+            command.beats_left -= 1
+            if command.beats_left == 0:
+                self._pending_b.append((
+                    cycle + self.timing.resp_latency, command.port,
+                    RespBeat(txn_id=command.beat.txn_id, resp=Resp.OKAY,
+                             addr_beat=command.beat)))
+        command.address_cursor += beat_bytes
+        self.beats_served += 1
+        self.per_port_beats[command.port] += 1
+        if command.beats_left == 0:
+            self._bus_free_at = cycle + 1
+            self._current = None
+
+    # ------------------------------------------------------------------
+
+    def idle(self) -> bool:
+        """True when no work is queued, active, or pending."""
+        return (self._current is None and not self._commands
+                and not self._pending_b
+                and all(not queue for queue in self._write_beats))

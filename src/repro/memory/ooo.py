@@ -1,0 +1,87 @@
+"""Out-of-order memory controller model (future platforms).
+
+The paper notes that "today's FPGA SoC platforms do not implement
+out-of-order transactions at the memory controller", and leaves
+out-of-order support in the HyperConnect as future work.  This module
+provides the *future platform* side of that story: a controller that may
+serve read commands out of arrival order (FR-FCFS style — a queued read
+hitting an open DRAM row may overtake older row-miss commands), which is
+what high-end memory controllers do to recover row-buffer locality.
+
+Reordering rules (all required for AXI correctness):
+
+* only **reads** are reordered; writes stay in arrival order among
+  themselves because their W data arrives on the link in AW order;
+* a read never overtakes another command with the **same AXI ID** (the
+  AXI per-ID ordering rule);
+* the candidate window is bounded (``lookahead``), as in real schedulers.
+
+An interconnect built for in-order platforms mis-routes data on such a
+controller; pair this model with
+:class:`repro.hyperconnect.reorder.InOrderAdapter` (the paper's
+future-work feature) to restore the in-order contract.
+"""
+
+from __future__ import annotations
+
+from .dram import MemorySubsystem, _Command
+
+
+class OutOfOrderMemory(MemorySubsystem):
+    """FR-FCFS-like controller: row-hit reads may overtake row misses.
+
+    Parameters (beyond :class:`MemorySubsystem`)
+    --------------------------------------------
+    lookahead:
+        How many queued commands the scheduler inspects when picking the
+        next one.
+    """
+
+    def __init__(self, *args, lookahead: int = 8, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        self.lookahead = lookahead
+        #: commands served ahead of an older queued command
+        self.reordered_served = 0
+
+    # ------------------------------------------------------------------
+
+    def _row_is_open(self, address: int) -> bool:
+        """Would this address hit the currently open row of its bank?"""
+        if self.timing.row_miss_penalty is None:
+            return False
+        bank = (address >> 12) & ((1 << self.timing.bank_bits) - 1)
+        row = address >> (12 + self.timing.bank_bits)
+        return self._open_rows.get(bank) == row
+
+    def _take_next_command(self, cycle: int) -> _Command:
+        window = min(self.lookahead, len(self._commands))
+        head = self._commands[0]
+        blocked_ids = {head.beat.txn_id} if not head.is_read else set()
+        chosen = 0
+        for index in range(window):
+            candidate = self._commands[index]
+            if index == 0:
+                if self._row_is_open(candidate.beat.address):
+                    break  # head is already a hit; nothing to gain
+                blocked_ids.add(candidate.beat.txn_id)
+                continue
+            if not candidate.is_read:
+                # writes are a reorder barrier for same-ID and for other
+                # writes; stop promoting past this point entirely to keep
+                # the W-data FIFO aligned
+                break
+            if candidate.beat.txn_id in blocked_ids:
+                blocked_ids.add(candidate.beat.txn_id)
+                continue
+            if self._row_is_open(candidate.beat.address):
+                chosen = index
+                break
+            blocked_ids.add(candidate.beat.txn_id)
+        if chosen == 0:
+            return self._commands.popleft()
+        self.reordered_served += 1
+        command = self._commands[chosen]
+        del self._commands[chosen]
+        return command

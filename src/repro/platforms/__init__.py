@@ -1,0 +1,5 @@
+"""FPGA SoC platform descriptions (Zynq-7020, ZCU102)."""
+
+from .zynq import PLATFORMS, ZCU102, ZYNQ_7020, Platform, ResourceBudget
+
+__all__ = ["PLATFORMS", "ZCU102", "ZYNQ_7020", "Platform", "ResourceBudget"]

@@ -1,0 +1,17 @@
+"""Parametric FPGA resource estimation (Table I)."""
+
+from .model import (
+    ResourceEstimate,
+    hyperconnect_breakdown,
+    hyperconnect_resources,
+    smartconnect_resources,
+)
+from .report import resource_table
+
+__all__ = [
+    "ResourceEstimate",
+    "hyperconnect_breakdown",
+    "hyperconnect_resources",
+    "smartconnect_resources",
+    "resource_table",
+]

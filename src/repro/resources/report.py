@@ -1,0 +1,36 @@
+"""Table I rendering: resource consumption report."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..platforms.zynq import Platform
+from .model import (
+    ResourceEstimate,
+    hyperconnect_resources,
+    smartconnect_resources,
+)
+
+
+def _row(name: str, estimate: ResourceEstimate,
+         platform: Platform) -> str:
+    util = estimate.utilization(platform.resources)
+    return (f"{name:<14} {estimate.lut:>6} ({util['lut'] * 100:4.1f}%)  "
+            f"{estimate.ff:>6} ({util['ff'] * 100:4.1f}%)  "
+            f"{estimate.bram:>4}  {estimate.dsp:>4}")
+
+
+def resource_table(platform: Platform, n_ports: int = 2,
+                   data_bytes: int = 16) -> str:
+    """Render Table I for a platform/configuration as text."""
+    lines: List[str] = [
+        f"Resource consumption — {platform.name} "
+        f"(N={n_ports}, {data_bytes * 8}-bit)",
+        f"{'':<14} {'LUT (' + str(platform.resources.lut) + ')':>14}  "
+        f"{'FF (' + str(platform.resources.ff) + ')':>14}  BRAM   DSP",
+        _row("HyperConnect",
+             hyperconnect_resources(n_ports, data_bytes), platform),
+        _row("SmartConnect",
+             smartconnect_resources(n_ports, data_bytes), platform),
+    ]
+    return "\n".join(lines)

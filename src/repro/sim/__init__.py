@@ -1,0 +1,35 @@
+"""Synchronous cycle-based simulation kernel.
+
+This package is the foundation of the reproduction: a deterministic,
+order-independent clocked simulator in which hardware modules are
+:class:`Component` subclasses connected by registered FIFO
+:class:`Channel` links.
+"""
+
+from .channel import Channel, UNBOUNDED
+from .component import Component
+from .errors import (
+    ChannelError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+from .kernel import Simulator
+from .stats import Histogram, OnlineStats, RateCounter
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Channel",
+    "UNBOUNDED",
+    "Component",
+    "ChannelError",
+    "ConfigurationError",
+    "ReproError",
+    "SimulationError",
+    "Simulator",
+    "Histogram",
+    "OnlineStats",
+    "RateCounter",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,218 @@
+"""Registered FIFO links between hardware components.
+
+A :class:`Channel` models a synchronous, point-to-point connection: a FIFO
+whose output side is separated from its input side by a configurable number
+of clock cycles (``latency``).  It is the only way components exchange data
+in this library, and its two-phase commit protocol is what makes simulation
+results independent of the order in which components are ticked:
+
+* Items pushed during cycle *t* are *staged* and only become part of the
+  queue when the simulator commits the cycle; they become visible to the
+  consumer at cycle ``t + latency``.
+* :meth:`can_push` judges fullness against the occupancy at the *start* of
+  the cycle — an item popped during the current cycle frees its slot only on
+  the next cycle, exactly like a registered ``full`` flag in RTL.
+
+With ``latency=1`` a channel behaves like the proactive (always-ready when
+not full) circular buffers used by the eFIFO modules of the AXI
+HyperConnect: one cycle of propagation delay and a sustained throughput of
+one item per cycle (for ``capacity >= 2``).
+
+A chain of *k* unit-latency channels therefore introduces exactly *k* cycles
+of propagation latency, which is how the paper's per-module latency budget
+(one clock per eFIFO/TS/EXBAR stage) is modelled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from .errors import ChannelError, ConfigurationError
+
+#: Capacity value meaning "no backpressure" (an unbounded queue).
+UNBOUNDED: Optional[int] = None
+
+
+class Channel:
+    """A point-to-point registered FIFO link.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`repro.sim.Simulator`; the channel registers itself
+        for end-of-cycle commits.
+    name:
+        Human-readable identifier used in traces and error messages.
+    latency:
+        Clock cycles between a push and the item becoming poppable.  Must be
+        at least 1 (a purely combinational path is not representable — and
+        not needed, since the paper's modules are all registered).
+    capacity:
+        Maximum occupancy (committed + staged items).  ``None`` means
+        unbounded.  For full throughput a latency-``L`` channel needs
+        ``capacity >= L + 1``.
+    """
+
+    __slots__ = (
+        "name",
+        "latency",
+        "capacity",
+        "_sim",
+        "_queue",
+        "_staged",
+        "_popped_this_cycle",
+        "pushed_total",
+        "popped_total",
+        "_push_listeners",
+        "_pop_listeners",
+    )
+
+    def __init__(self, sim, name: str, latency: int = 1,
+                 capacity: Optional[int] = 16) -> None:
+        if latency < 1:
+            raise ConfigurationError(
+                f"channel {name!r}: latency must be >= 1, got {latency}")
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(
+                f"channel {name!r}: capacity must be >= 1 or None, "
+                f"got {capacity}")
+        self.name = name
+        self.latency = latency
+        self.capacity = capacity
+        self._sim = sim
+        #: committed items as (ready_cycle, payload) in FIFO order
+        self._queue: Deque[Tuple[int, Any]] = deque()
+        #: items pushed this cycle, not yet committed
+        self._staged: List[Any] = []
+        #: items popped this cycle (their slot frees only at commit)
+        self._popped_this_cycle = 0
+        self.pushed_total = 0
+        self.popped_total = 0
+        #: observation hooks: callables ``fn(cycle, item)`` invoked on
+        #: push/pop.  Used by protocol checkers and monitors; they must not
+        #: mutate the channel.
+        self._push_listeners: List[Any] = []
+        self._pop_listeners: List[Any] = []
+        sim._register_channel(self)
+
+    # ------------------------------------------------------------------
+    # observation (monitors / protocol checkers)
+    # ------------------------------------------------------------------
+
+    def subscribe_push(self, callback) -> None:
+        """Invoke ``callback(cycle, item)`` whenever an item is pushed."""
+        self._push_listeners.append(callback)
+
+    def subscribe_pop(self, callback) -> None:
+        """Invoke ``callback(cycle, item)`` whenever an item is popped."""
+        self._pop_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    def can_push(self, count: int = 1) -> bool:
+        """Return ``True`` if ``count`` more items fit this cycle.
+
+        Occupancy is measured against the start-of-cycle snapshot: slots
+        freed by pops during the current cycle do not count until the next
+        cycle (registered-full semantics).
+        """
+        if self.capacity is None:
+            return True
+        occupied = (len(self._queue) + self._popped_this_cycle
+                    + len(self._staged))
+        return occupied + count <= self.capacity
+
+    def push(self, item: Any) -> None:
+        """Stage ``item`` for delivery ``latency`` cycles from now."""
+        if not self.can_push():
+            raise ChannelError(
+                f"push to full channel {self.name!r} "
+                f"(capacity={self.capacity}) at cycle {self._sim.now}")
+        self._staged.append(item)
+        self.pushed_total += 1
+        if self._push_listeners:
+            now = self._sim.now
+            for callback in self._push_listeners:
+                callback(now, item)
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+
+    def can_pop(self) -> bool:
+        """Return ``True`` if an item is visible at the current cycle."""
+        return bool(self._queue) and self._queue[0][0] <= self._sim.now
+
+    def front(self) -> Any:
+        """Return (without removing) the item at the head of the queue."""
+        if not self.can_pop():
+            raise ChannelError(
+                f"front of empty channel {self.name!r} at cycle "
+                f"{self._sim.now}")
+        return self._queue[0][1]
+
+    def pop(self) -> Any:
+        """Remove and return the head item."""
+        if not self.can_pop():
+            raise ChannelError(
+                f"pop from empty channel {self.name!r} at cycle "
+                f"{self._sim.now}")
+        __, item = self._queue.popleft()
+        self._popped_this_cycle += 1
+        self.popped_total += 1
+        if self._pop_listeners:
+            now = self._sim.now
+            for callback in self._pop_listeners:
+                callback(now, item)
+        return item
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of committed items still queued (visible or in flight)."""
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        """Start-of-cycle occupancy used for backpressure decisions."""
+        return len(self._queue) + self._popped_this_cycle + len(self._staged)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no item is queued, staged, or in flight."""
+        return not self._queue and not self._staged
+
+    def drain(self) -> List[Any]:
+        """Pop every currently visible item (helper for sinks and tests)."""
+        items = []
+        while self.can_pop():
+            items.append(self.pop())
+        return items
+
+    def clear(self) -> None:
+        """Drop all contents immediately (used by reset logic)."""
+        self._queue.clear()
+        self._staged.clear()
+        self._popped_this_cycle = 0
+
+    # ------------------------------------------------------------------
+    # kernel interface
+    # ------------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> None:
+        """End-of-cycle commit: staged pushes enter the queue."""
+        if self._staged:
+            ready = cycle + self.latency
+            for item in self._staged:
+                self._queue.append((ready, item))
+            self._staged.clear()
+        self._popped_this_cycle = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Channel({self.name!r}, latency={self.latency}, "
+                f"capacity={self.capacity}, queued={len(self._queue)})")

@@ -1,0 +1,44 @@
+"""Base class for clocked hardware components."""
+
+from __future__ import annotations
+
+
+class Component:
+    """A synchronous hardware block ticked once per clock cycle.
+
+    Subclasses implement :meth:`tick`, which runs once per simulated cycle.
+    All communication with other components must go through
+    :class:`repro.sim.Channel` links; thanks to the channels' two-phase
+    commit, the order in which components are ticked within a cycle is
+    irrelevant to the simulation outcome.
+
+    Components register themselves with the simulator on construction, so
+    building a component is enough to make it run.
+    """
+
+    def __init__(self, sim, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        sim._register_component(self)
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Advance the component by one clock cycle.
+
+        ``cycle`` equals ``self.sim.now``; it is passed explicitly because
+        nearly every implementation needs it and the attribute lookup is a
+        measurable cost in large simulations.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return the component to its power-on state.
+
+        The default implementation does nothing; stateful components
+        override it.  Used by the HyperConnect central unit to fan out reset
+        requests.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

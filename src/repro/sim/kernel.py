@@ -1,0 +1,164 @@
+"""The synchronous simulation kernel.
+
+The kernel drives a flat list of :class:`~repro.sim.Component` objects with a
+single global clock.  Every cycle has two phases:
+
+1. **Tick phase** — each component's :meth:`~repro.sim.Component.tick` runs.
+   Components read the *visible* heads of their input channels (items
+   committed in earlier cycles) and stage pushes onto their output channels.
+2. **Commit phase** — every channel commits its staged pushes, time-stamping
+   them ``latency`` cycles into the future, and clears its pop accounting.
+
+Because nothing staged in cycle *t* can be observed before ``t + 1``, the
+tick order of components cannot change the outcome — the model is a proper
+synchronous circuit, not an event soup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .channel import Channel
+from .component import Component
+from .errors import SimulationError
+
+
+class Simulator:
+    """Owner of the global clock, the components, and the channels.
+
+    Parameters
+    ----------
+    name:
+        Label used in error messages and traces.
+    clock_hz:
+        Nominal clock frequency of the modelled clock domain.  The kernel
+        itself is unit-less (it counts cycles); the frequency is carried so
+        that reports can convert cycle counts to seconds.
+    """
+
+    def __init__(self, name: str = "sim", clock_hz: float = 150e6) -> None:
+        if clock_hz <= 0:
+            raise SimulationError("clock_hz must be positive")
+        self.name = name
+        self.clock_hz = clock_hz
+        self._cycle = 0
+        self._components: List[Component] = []
+        self._channels: List[Channel] = []
+        self._names: Dict[str, object] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # registration (called from Component / Channel constructors)
+    # ------------------------------------------------------------------
+
+    def _register_component(self, component: Component) -> None:
+        self._check_name(component.name)
+        self._components.append(component)
+        self._names[component.name] = component
+
+    def _register_channel(self, channel: Channel) -> None:
+        self._check_name(channel.name)
+        self._channels.append(channel)
+        self._names[channel.name] = channel
+
+    def _check_name(self, name: str) -> None:
+        if name in self._names:
+            raise SimulationError(
+                f"duplicate name {name!r} in simulator {self.name!r}")
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """The current cycle number (starts at 0)."""
+        return self._cycle
+
+    def seconds(self, cycles: Optional[int] = None) -> float:
+        """Convert ``cycles`` (default: the current time) to seconds."""
+        if cycles is None:
+            cycles = self._cycle
+        return cycles / self.clock_hz
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the simulation by exactly one clock cycle."""
+        if self._finished:
+            raise SimulationError(
+                f"simulator {self.name!r} stepped after finish()")
+        cycle = self._cycle
+        for component in self._components:
+            component.tick(cycle)
+        for channel in self._channels:
+            channel._commit(cycle)
+        self._cycle = cycle + 1
+
+    def run(self, cycles: int) -> None:
+        """Run for a fixed number of cycles."""
+        if cycles < 0:
+            raise SimulationError("cannot run a negative number of cycles")
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_cycles: int = 1_000_000,
+                  check_every: int = 1) -> int:
+        """Run until ``predicate()`` is true; return the cycles elapsed.
+
+        The predicate is evaluated every ``check_every`` cycles (checking
+        less often speeds up long simulations whose termination condition is
+        expensive).  Raises :class:`SimulationError` if ``max_cycles`` elapse
+        without the predicate becoming true — silent timeouts hide deadlock
+        bugs, so the failure is loud.
+        """
+        if check_every < 1:
+            raise SimulationError("check_every must be >= 1")
+        start = self._cycle
+        while not predicate():
+            elapsed = self._cycle - start
+            if elapsed >= max_cycles:
+                raise SimulationError(
+                    f"run_until exceeded {max_cycles} cycles in simulator "
+                    f"{self.name!r} (started at cycle {start})")
+            for _ in range(check_every):
+                self.step()
+        return self._cycle - start
+
+    def finish(self) -> None:
+        """Mark the simulation as complete; further steps raise."""
+        self._finished = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def lookup(self, name: str):
+        """Return the component or channel registered under ``name``."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise SimulationError(
+                f"no component or channel named {name!r}") from None
+
+    @property
+    def components(self) -> List[Component]:
+        """The registered components, in tick order (read-only view)."""
+        return list(self._components)
+
+    @property
+    def channels(self) -> List[Channel]:
+        """The registered channels (read-only view)."""
+        return list(self._channels)
+
+    def idle(self) -> bool:
+        """True when every channel is empty (no traffic in flight)."""
+        return all(channel.is_idle for channel in self._channels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Simulator({self.name!r}, cycle={self._cycle}, "
+                f"components={len(self._components)}, "
+                f"channels={len(self._channels)})")

@@ -1,0 +1,160 @@
+"""Statistics collectors used by monitors and benchmarks.
+
+The collectors are deliberately dependency-free (no numpy) so the core
+library stays importable anywhere; benchmarks may post-process with numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class OnlineStats:
+    """Streaming count/min/max/mean/variance (Welford's algorithm).
+
+    Suitable for millions of samples: O(1) memory, numerically stable.
+    """
+
+    __slots__ = ("count", "minimum", "maximum", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the samples."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another summary into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self._mean = other._mean
+            self._m2 = other._m2
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        if other.minimum is not None and other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum is not None and other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary as a plain dict (for reports and JSON dumps)."""
+        return {
+            "count": self.count,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+            "mean": self.mean,
+            "stddev": self.stddev,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"OnlineStats(count={self.count}, min={self.minimum}, "
+                f"max={self.maximum}, mean={self.mean:.3f})")
+
+
+class Histogram:
+    """Fixed-bin-width integer histogram (e.g. of latencies in cycles)."""
+
+    def __init__(self, bin_width: int = 1) -> None:
+        if bin_width < 1:
+            raise ValueError("bin_width must be >= 1")
+        self.bin_width = bin_width
+        self._bins: Dict[int, int] = {}
+        self.stats = OnlineStats()
+
+    def add(self, value: float) -> None:
+        """Count one sample."""
+        self.stats.add(value)
+        index = int(value // self.bin_width)
+        self._bins[index] = self._bins.get(index, 0) + 1
+
+    def bins(self) -> List[tuple]:
+        """Sorted ``(bin_lower_bound, count)`` pairs."""
+        return [(index * self.bin_width, count)
+                for index, count in sorted(self._bins.items())]
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile (bin lower bound containing the rank)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if self.stats.count == 0:
+            return 0.0
+        rank = fraction * self.stats.count
+        seen = 0
+        for lower, count in self.bins():
+            seen += count
+            if seen >= rank:
+                return float(lower)
+        return float(self.bins()[-1][0])
+
+
+class RateCounter:
+    """Counts events and converts them to a per-second rate.
+
+    Used for the paper's "rate per second" performance indexes (CHaiDNN
+    frames per second, DMA jobs per second).
+    """
+
+    def __init__(self, clock_hz: float) -> None:
+        if clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        self.clock_hz = clock_hz
+        self.events = 0
+        self._first_cycle: Optional[int] = None
+        self._last_cycle: Optional[int] = None
+
+    def record(self, cycle: int) -> None:
+        """Record one event completion at ``cycle``."""
+        if self._first_cycle is None:
+            self._first_cycle = cycle
+        self._last_cycle = cycle
+        self.events += 1
+
+    def rate(self, window_cycles: Optional[int] = None) -> float:
+        """Events per second over the observation window.
+
+        If ``window_cycles`` is not given, the window spans from cycle 0 to
+        the last recorded event.
+        """
+        if self.events == 0:
+            return 0.0
+        if window_cycles is None:
+            window_cycles = self._last_cycle or 1
+        if window_cycles <= 0:
+            return 0.0
+        return self.events * self.clock_hz / window_cycles

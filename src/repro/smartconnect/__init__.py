@@ -1,0 +1,17 @@
+"""Baseline interconnect: behavioural Xilinx AXI SmartConnect model."""
+
+from .smartconnect import (
+    DEFAULT_MAX_GRANULARITY,
+    INPUT_STAGE_LATENCY,
+    OUTPUT_STAGE_LATENCY,
+    SmartConnect,
+    smartconnect_master_link,
+)
+
+__all__ = [
+    "DEFAULT_MAX_GRANULARITY",
+    "INPUT_STAGE_LATENCY",
+    "OUTPUT_STAGE_LATENCY",
+    "SmartConnect",
+    "smartconnect_master_link",
+]

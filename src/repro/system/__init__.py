@@ -1,0 +1,23 @@
+"""High-level system assembly and experiment harnesses."""
+
+from .builder import SocSystem
+from .report import BusUtilizationMonitor
+from .experiment import (
+    CASE_STUDY_DMA_BYTES,
+    CaseStudyResult,
+    ChannelLatencies,
+    measure_access_time,
+    measure_channel_latencies,
+    run_case_study,
+)
+
+__all__ = [
+    "SocSystem",
+    "BusUtilizationMonitor",
+    "CASE_STUDY_DMA_BYTES",
+    "CaseStudyResult",
+    "ChannelLatencies",
+    "measure_access_time",
+    "measure_channel_latencies",
+    "run_case_study",
+]

@@ -1,0 +1,130 @@
+"""Bus utilization monitoring and text reporting.
+
+Answers the operations questions a system integrator asks after wiring a
+design: how busy is the FPGA-PS port, who is consuming it, and how did
+that evolve over time?  The monitor taps the interconnect's master-side
+data channels, attributes every beat to its originating input port (via
+the routing metadata the interconnect stamps on address beats), and bins
+the counts into fixed windows.
+
+The renderer produces terminal-friendly tables and bar charts — no
+plotting dependencies, consistent with the library's zero-dependency
+policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..axi.port import AxiLink
+
+_UNATTRIBUTED = -1
+
+
+class BusUtilizationMonitor:
+    """Windowed per-port accounting of data beats on a link.
+
+    Parameters
+    ----------
+    link:
+        The interconnect's master-side link (or any link to observe).
+    window:
+        Bin width in cycles for the time series.
+    """
+
+    def __init__(self, link: AxiLink, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.link = link
+        self.window = window
+        #: window index -> port -> beats
+        self._bins: Dict[int, Dict[int, int]] = {}
+        self.total_beats = 0
+        self.read_beats = 0
+        self.write_beats = 0
+        self._first_cycle: Optional[int] = None
+        self._last_cycle: Optional[int] = None
+        link.r.subscribe_pop(self._on_read)
+        link.w.subscribe_pop(self._on_write)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _port_of(beat) -> int:
+        addr_beat = getattr(beat, "addr_beat", None)
+        if addr_beat is None or addr_beat.port is None:
+            return _UNATTRIBUTED
+        return addr_beat.port
+
+    def _record(self, cycle: int, beat) -> None:
+        if self._first_cycle is None:
+            self._first_cycle = cycle
+        self._last_cycle = cycle
+        self.total_beats += 1
+        window_index = cycle // self.window
+        bucket = self._bins.setdefault(window_index, {})
+        port = self._port_of(beat)
+        bucket[port] = bucket.get(port, 0) + 1
+
+    def _on_read(self, cycle: int, beat) -> None:
+        self.read_beats += 1
+        self._record(cycle, beat)
+
+    def _on_write(self, cycle: int, beat) -> None:
+        self.write_beats += 1
+        self._record(cycle, beat)
+
+    # ------------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Average data-bus utilization over the observed span (0..1)."""
+        if self.total_beats == 0 or self._last_cycle is None:
+            return 0.0
+        span = max(1, self._last_cycle - (self._first_cycle or 0) + 1)
+        return min(1.0, self.total_beats / span)
+
+    def port_shares(self) -> Dict[int, float]:
+        """Fraction of observed beats attributable to each port."""
+        counts: Dict[int, int] = {}
+        for bucket in self._bins.values():
+            for port, beats in bucket.items():
+                counts[port] = counts.get(port, 0) + beats
+        if not counts:
+            return {}
+        total = sum(counts.values())
+        return {port: beats / total for port, beats in counts.items()}
+
+    def series(self) -> List[Dict[int, int]]:
+        """Per-window port->beats dictionaries, oldest first."""
+        if not self._bins:
+            return []
+        first = min(self._bins)
+        last = max(self._bins)
+        return [dict(self._bins.get(index, {}))
+                for index in range(first, last + 1)]
+
+    # ------------------------------------------------------------------
+
+    def render(self, width: int = 50) -> str:
+        """Terminal report: totals, per-port split, and a timeline."""
+        lines = [
+            f"bus utilization: {self.utilization():.1%} "
+            f"({self.total_beats} beats: {self.read_beats} R / "
+            f"{self.write_beats} W; window {self.window} cycles)",
+        ]
+        shares = self.port_shares()
+        for port in sorted(shares):
+            label = ("unattributed" if port == _UNATTRIBUTED
+                     else f"port {port}")
+            bar = "#" * round(shares[port] * width)
+            lines.append(f"  {label:<14}{shares[port]:>7.1%}  {bar}")
+        series = self.series()
+        if series:
+            lines.append("timeline (beats per window, all ports):")
+            peak = max((sum(bucket.values()) for bucket in series),
+                       default=1) or 1
+            for index, bucket in enumerate(series):
+                total = sum(bucket.values())
+                bar = "#" * round(total / peak * width)
+                lines.append(f"  w{index:<4}{total:>8}  {bar}")
+        return "\n".join(lines)

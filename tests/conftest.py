@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platforms import ZCU102
+from repro.sim import Simulator
+from repro.system import SocSystem
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator clocked like the ZCU102 PL."""
+    return Simulator("test", clock_hz=ZCU102.pl_clock_hz)
+
+
+@pytest.fixture
+def hc_soc() -> SocSystem:
+    """A two-port HyperConnect system on the ZCU102 model."""
+    return SocSystem.build(ZCU102, interconnect="hyperconnect", n_ports=2)
+
+
+@pytest.fixture
+def sc_soc() -> SocSystem:
+    """A two-port SmartConnect system on the ZCU102 model."""
+    return SocSystem.build(ZCU102, interconnect="smartconnect", n_ports=2)
+
+
+def drain(soc: SocSystem, max_cycles: int = 2_000_000) -> int:
+    """Run a system until quiescent; returns elapsed cycles."""
+    return soc.run_until_quiescent(max_cycles=max_cycles)

@@ -1,0 +1,168 @@
+"""End-to-end shape tests: miniature versions of every paper experiment.
+
+Each test asserts the qualitative result the corresponding figure/table
+reports (who wins, by roughly what factor, where parity appears).  The
+benchmarks in ``benchmarks/`` run the same harnesses at larger windows.
+"""
+
+import pytest
+
+from repro.analysis import improvement
+from repro.platforms import ZCU102
+from repro.resources import hyperconnect_resources, smartconnect_resources
+from repro.system import (
+    measure_access_time,
+    measure_channel_latencies,
+    run_case_study,
+)
+
+
+@pytest.fixture(scope="module")
+def latencies():
+    return {
+        "hc": measure_channel_latencies("hyperconnect"),
+        "sc": measure_channel_latencies("smartconnect"),
+    }
+
+
+class TestFig3aChannelLatency:
+    def test_hyperconnect_absolute_values(self, latencies):
+        hc = latencies["hc"]
+        assert (hc.ar, hc.aw, hc.r, hc.w, hc.b) == (4, 4, 2, 2, 2)
+
+    def test_smartconnect_absolute_values(self, latencies):
+        sc = latencies["sc"]
+        assert (sc.ar, sc.aw, sc.r, sc.w, sc.b) == (12, 12, 11, 3, 2)
+
+    def test_paper_improvement_factors(self, latencies):
+        hc, sc = latencies["hc"], latencies["sc"]
+        assert improvement(sc.ar, hc.ar) == pytest.approx(0.66, abs=0.02)
+        assert improvement(sc.aw, hc.aw) == pytest.approx(0.66, abs=0.02)
+        assert improvement(sc.r, hc.r) == pytest.approx(0.82, abs=0.02)
+        assert improvement(sc.w, hc.w) == pytest.approx(0.33, abs=0.02)
+        assert improvement(sc.b, hc.b) == 0.0
+
+    def test_transaction_level_improvements(self, latencies):
+        hc, sc = latencies["hc"], latencies["sc"]
+        # paper: 74 % per read transaction, 41 % per write transaction
+        assert improvement(sc.read_total,
+                           hc.read_total) == pytest.approx(0.74, abs=0.02)
+        assert improvement(sc.write_total,
+                           hc.write_total) >= 0.40
+
+
+class TestFig3bAccessTime:
+    @pytest.fixture(scope="class")
+    def times(self):
+        sizes = {"word": 16, "burst16": 256, "kb16": 16384}
+        return {
+            name: {
+                "hc": measure_access_time("hyperconnect", nbytes),
+                "sc": measure_access_time("smartconnect", nbytes),
+            }
+            for name, nbytes in sizes.items()
+        }
+
+    def test_single_word_improvement_near_28_percent(self, times):
+        gain = improvement(times["word"]["sc"], times["word"]["hc"])
+        assert gain == pytest.approx(0.28, abs=0.03)
+
+    def test_16_word_improvement_near_25_percent(self, times):
+        gain = improvement(times["burst16"]["sc"], times["burst16"]["hc"])
+        assert gain == pytest.approx(0.25, abs=0.04)
+
+    def test_improvement_shrinks_with_size(self, times):
+        gains = [improvement(times[name]["sc"], times[name]["hc"])
+                 for name in ("word", "burst16", "kb16")]
+        assert gains[0] > gains[1] > gains[2]
+
+    def test_throughput_parity_at_16kb(self, times):
+        gain = improvement(times["kb16"]["sc"], times["kb16"]["hc"])
+        assert abs(gain) < 0.05  # "comparable throughput"
+
+
+class TestFig4Isolation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        window = 600_000
+        return {
+            "dnn_hc": run_case_study("hyperconnect", run_dma=False,
+                                     window_cycles=window),
+            "dnn_sc": run_case_study("smartconnect", run_dma=False,
+                                     window_cycles=window),
+            "dma_hc": run_case_study("hyperconnect", run_chaidnn=False,
+                                     window_cycles=window),
+            "dma_sc": run_case_study("smartconnect", run_chaidnn=False,
+                                     window_cycles=window),
+        }
+
+    def test_chaidnn_no_degradation_with_hyperconnect(self, results):
+        hc = results["dnn_hc"].chaidnn_fps
+        sc = results["dnn_sc"].chaidnn_fps
+        assert hc >= sc * 0.95  # HC at least as good as SC in isolation
+
+    def test_dma_no_degradation_with_hyperconnect(self, results):
+        hc = results["dma_hc"].dma_rate
+        sc = results["dma_sc"].dma_rate
+        assert hc >= sc * 0.95
+
+    def test_rates_are_nonzero(self, results):
+        assert results["dnn_hc"].chaidnn_frames > 3
+        assert results["dma_hc"].dma_rounds > 3
+
+
+class TestFig5Contention:
+    WINDOW = 600_000
+
+    @pytest.fixture(scope="class")
+    def isolation(self):
+        return run_case_study("hyperconnect", run_dma=False,
+                              window_cycles=self.WINDOW)
+
+    @pytest.fixture(scope="class")
+    def smartconnect_contention(self):
+        return run_case_study("smartconnect", window_cycles=self.WINDOW)
+
+    def test_smartconnect_starves_chaidnn(self, isolation,
+                                          smartconnect_contention):
+        # "HA_DMA ... can take most of the bandwidth while HA_CHaiDNN can
+        # dispose of just a little portion"
+        assert (smartconnect_contention.chaidnn_fps
+                < 0.35 * isolation.chaidnn_fps)
+
+    def test_hc_90_10_close_to_isolation(self, isolation):
+        result = run_case_study("hyperconnect", shares={0: 0.9, 1: 0.1},
+                                window_cycles=self.WINDOW)
+        assert result.chaidnn_fps >= 0.85 * isolation.chaidnn_fps
+
+    def test_reservation_monotonic_in_share(self):
+        fps = []
+        dma = []
+        for share in (0.9, 0.5, 0.1):
+            result = run_case_study(
+                "hyperconnect", shares={0: share, 1: round(1 - share, 2)},
+                window_cycles=self.WINDOW)
+            fps.append(result.chaidnn_fps)
+            dma.append(result.dma_rate)
+        assert fps[0] > fps[1] > fps[2]      # CHaiDNN follows its share
+        assert dma[0] < dma[1] < dma[2]      # DMA follows the complement
+
+    def test_smartconnect_rejects_shares(self):
+        with pytest.raises(ValueError):
+            run_case_study("smartconnect", shares={0: 0.9, 1: 0.1},
+                           window_cycles=10_000)
+
+
+class TestTable1Resources:
+    def test_paper_numbers_and_ordering(self):
+        hc = hyperconnect_resources(2)
+        sc = smartconnect_resources(2)
+        assert (hc.lut, hc.ff) == (3020, 1289)
+        assert (sc.lut, sc.ff) == (3785, 7137)
+        assert hc.lut < sc.lut and hc.ff < sc.ff
+        assert hc.bram == sc.bram == 0
+        assert hc.dsp == sc.dsp == 0
+
+    def test_utilization_below_two_percent(self):
+        util = hyperconnect_resources(2).utilization(ZCU102.resources)
+        assert util["lut"] < 0.02 and util["ff"] < 0.02

@@ -1,0 +1,40 @@
+"""Integration tests: every shipped example must run to completion.
+
+The examples contain their own assertions about the results they
+demonstrate (deadline recovery, denied guest access, bound compliance),
+so executing them is a meaningful end-to-end regression, not a smoke
+test.  They print their reports; pytest captures that output.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "mixed_criticality",
+    "misbehaving_ha",
+    "runtime_reconfiguration",
+    "wcet_analysis",
+    "trace_replay_study",
+]
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    module = _load(name)
+    assert hasattr(module, "main"), f"{name} must expose main()"
+    module.main()   # raises on any violated expectation

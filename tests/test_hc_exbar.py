@@ -1,0 +1,214 @@
+"""Unit tests for the EXBAR crossbar (arbitration, routing, merging)."""
+
+from collections import deque
+
+from repro.axi import AxiLink, DataBeat, Resp, RespBeat
+from repro.hyperconnect import HyperConnect
+from repro.masters import AxiDma, GreedyTrafficGenerator
+from repro.platforms import ZCU102
+from repro.sim import Component, Simulator
+from repro.system import SocSystem
+
+from conftest import drain
+
+
+class FaultySlave(Component):
+    """Minimal in-order slave that answers SLVERR above a threshold."""
+
+    def __init__(self, sim, name, link, fault_above=1 << 62):
+        super().__init__(sim, name)
+        self.link = link
+        self.fault_above = fault_above
+        self._reads = deque()
+        self._writes = deque()
+        self._w_buffered = 0
+
+    def _resp_for(self, address):
+        return Resp.SLVERR if address >= self.fault_above else Resp.OKAY
+
+    def tick(self, cycle):
+        if self.link.ar.can_pop():
+            self._reads.append([self.link.ar.pop(), 0])
+        if self.link.aw.can_pop():
+            beat = self.link.aw.pop()
+            self._writes.append([beat, beat.length])
+        if self.link.w.can_pop():
+            self.link.w.pop()
+            self._w_buffered += 1
+        if (self._writes and self._w_buffered >= self._writes[0][1]
+                and self.link.b.can_push()):
+            head = self._writes.popleft()
+            self._w_buffered -= head[1]
+            self.link.b.push(RespBeat(
+                txn_id=head[0].txn_id,
+                resp=self._resp_for(head[0].address),
+                addr_beat=head[0]))
+        if self._reads and self.link.r.can_push():
+            head = self._reads[0]
+            beat, sent = head
+            head[1] += 1
+            self.link.r.push(DataBeat(
+                last=head[1] == beat.length, txn_id=beat.txn_id,
+                resp=self._resp_for(beat.address), addr_beat=beat))
+            if head[1] == beat.length:
+                self._reads.popleft()
+
+
+def build_with_faulty_slave(fault_above=1 << 62):
+    sim = Simulator("exbar-test")
+    master = AxiLink(sim, "m", data_bytes=16)
+    hc = HyperConnect(sim, "hc", 2, master, period=1 << 16)
+    FaultySlave(sim, "slave", master, fault_above)
+    return sim, hc
+
+
+class TestArbitration:
+    def test_round_robin_alternates_under_backlog(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        grants = []
+        soc.master_link.ar.subscribe_push(
+            lambda cycle, beat: grants.append(beat.port))
+        GreedyTrafficGenerator(soc.sim, "a", soc.port(0), job_bytes=4096,
+                               depth=2)
+        GreedyTrafficGenerator(soc.sim, "b", soc.port(1), job_bytes=4096,
+                               depth=2)
+        soc.sim.run(20_000)
+        # fixed granularity of one: after warmup, no port granted twice
+        # in a row while the other has pending requests
+        steady = grants[8:]
+        repeats = sum(1 for i in range(1, len(steady))
+                      if steady[i] == steady[i - 1])
+        assert repeats <= len(steady) // 10  # overwhelmingly alternating
+        assert abs(steady.count(0) - steady.count(1)) <= 2
+
+    def test_single_port_keeps_full_rate(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        dma = AxiDma(soc.sim, "dma", soc.port(0))
+        dma.enqueue_read(0x0, 65536)
+        cycles = drain(soc)
+        # 4096 beats at 1/cycle + latency: near-saturation
+        assert 65536 / cycles > 14.5
+
+    def test_grant_counters(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        dma = AxiDma(soc.sim, "dma", soc.port(0))
+        dma.enqueue_read(0x0, 512)
+        dma.enqueue_write(0x9000, 512)
+        drain(soc)
+        exbar = soc.interconnect.exbar
+        assert exbar.grants_ar == 2
+        assert exbar.grants_aw == 2
+        assert soc.interconnect.total_grants == 4
+
+
+class TestRouting:
+    def test_r_beats_routed_to_issuing_port(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        a = AxiDma(soc.sim, "a", soc.port(0))
+        b = AxiDma(soc.sim, "b", soc.port(1))
+        a.enqueue_read(0x1000, 512)
+        b.enqueue_read(0x2000, 512)
+        drain(soc)
+        assert a.bytes_read == 512
+        assert b.bytes_read == 512
+
+    def test_routing_backlog_drains(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        dma = AxiDma(soc.sim, "dma", soc.port(0))
+        dma.enqueue_read(0x0, 4096)
+        drain(soc)
+        assert soc.interconnect.exbar.routing_backlog == 0
+        assert soc.interconnect.idle()
+
+
+class TestMerging:
+    def test_split_read_presents_single_burst_to_ha(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        dma = AxiDma(soc.sim, "dma", soc.port(0), burst_len=64)
+        # TS equalizes 64-beat bursts to nominal 16: 4 sub-bursts
+        lasts = []
+        soc.port(0).r.subscribe_push(
+            lambda cycle, beat: lasts.append(beat.last))
+        dma.enqueue_read(0x0, 64 * 16)
+        drain(soc)
+        assert len(lasts) == 64
+        assert lasts.count(True) == 1 and lasts[-1]
+
+    def test_split_write_gets_single_b(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        dma = AxiDma(soc.sim, "dma", soc.port(0), burst_len=64)
+        responses = []
+        soc.port(0).b.subscribe_push(
+            lambda cycle, beat: responses.append(beat))
+        dma.enqueue_write(0x0, 64 * 16)
+        drain(soc)
+        assert len(responses) == 1
+
+    def test_sub_burst_wlast_rewritten_for_memory(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        dma = AxiDma(soc.sim, "dma", soc.port(0), burst_len=64)
+        lasts = []
+        soc.master_link.w.subscribe_push(
+            lambda cycle, beat: lasts.append(beat.last))
+        dma.enqueue_write(0x0, 64 * 16)
+        drain(soc)
+        # memory side sees 4 sub-bursts of 16, each with its own WLAST
+        assert len(lasts) == 64
+        assert lasts.count(True) == 4
+
+    def test_merged_b_resp_is_worst_of_subs(self):
+        sim, hc = build_with_faulty_slave(fault_above=0x100)
+        dma = AxiDma(sim, "dma", hc.port(0), burst_len=32)
+        responses = []
+        hc.port(0).b.subscribe_push(
+            lambda cycle, beat: responses.append(beat.resp))
+        # 32-beat write split into 2 subs; second sub lands above the
+        # fault threshold -> its SLVERR must surface in the merged B
+        dma.enqueue_write(0x0, 32 * 16)
+        sim.run_until(lambda: responses, max_cycles=20_000)
+        assert responses == [Resp.SLVERR]
+
+    def test_clean_write_merges_to_okay(self):
+        sim, hc = build_with_faulty_slave()
+        dma = AxiDma(sim, "dma", hc.port(0), burst_len=32)
+        responses = []
+        hc.port(0).b.subscribe_push(
+            lambda cycle, beat: responses.append(beat.resp))
+        dma.enqueue_write(0x0, 32 * 16)
+        sim.run_until(lambda: responses, max_cycles=20_000)
+        assert responses == [Resp.OKAY]
+
+
+class TestDecouplingSafety:
+    def test_read_beats_of_decoupled_port_dropped(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        dma = AxiDma(soc.sim, "dma", soc.port(0))
+        dma.enqueue_read(0x0, 4096)
+        soc.sim.run(30)             # requests in flight
+        soc.driver.decouple(0)
+        soc.sim.run(20_000)
+        exbar = soc.interconnect.exbar
+        assert exbar.dropped_beats > 0
+        assert exbar.routing_backlog == 0   # nothing stuck
+
+    def test_decoupled_write_flushed_with_null_beats(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        dma = AxiDma(soc.sim, "dma", soc.port(0))
+        dma.enqueue_write(0x0, 4096)
+        soc.sim.run(12)             # AW granted, W data still streaming
+        soc.driver.decouple(0)
+        soc.sim.run(20_000)
+        exbar = soc.interconnect.exbar
+        assert exbar.flush_beats > 0
+        assert exbar.routing_backlog == 0
+
+    def test_other_port_unaffected_by_decoupled_neighbour(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        victim = AxiDma(soc.sim, "victim", soc.port(0))
+        healthy = AxiDma(soc.sim, "healthy", soc.port(1))
+        victim.enqueue_write(0x0, 8192)
+        soc.sim.run(12)
+        soc.driver.decouple(0)
+        job = healthy.enqueue_read(0x2000, 4096)
+        soc.sim.run(20_000)
+        assert job.completed is not None

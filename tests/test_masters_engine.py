@@ -1,0 +1,186 @@
+"""Unit tests for the generic AXI master engine."""
+
+import pytest
+
+from repro.masters import AxiMasterEngine
+from repro.memory import MemoryStore
+from repro.platforms import ZCU102
+from repro.sim import ConfigurationError
+from repro.system import SocSystem
+
+from conftest import drain
+
+
+def build(with_store=False, **engine_kwargs):
+    soc = SocSystem.build(ZCU102, n_ports=2, with_store=with_store)
+    engine = AxiMasterEngine(soc.sim, "eng", soc.port(0), **engine_kwargs)
+    return soc, engine
+
+
+class TestJobApi:
+    def test_read_job_completes(self):
+        soc, engine = build()
+        job = engine.enqueue_read(0x1000, 256)
+        drain(soc)
+        assert job.completed is not None
+        assert job.read_bytes_done == 256
+        assert not engine.busy
+
+    def test_write_job_completes(self):
+        soc, engine = build()
+        job = engine.enqueue_write(0x1000, 256)
+        drain(soc)
+        assert job.completed is not None
+        assert job.write_bytes_done == 256
+
+    def test_copy_job_moves_data(self):
+        soc, engine = build(with_store=True)
+        soc.store.fill_pattern(0x1000, 512, seed=3)
+        job = engine.enqueue_copy(0x1000, 0x9000, 512)
+        drain(soc)
+        assert job.completed is not None
+        assert soc.store.read(0x9000, 512) == soc.store.read(0x1000, 512)
+
+    def test_job_latency_recorded(self):
+        soc, engine = build()
+        job = engine.enqueue_read(0x1000, 16)
+        drain(soc)
+        assert job.latency is not None and job.latency > 0
+        assert engine.job_latency.count == 1
+
+    def test_completion_callback_fires(self):
+        soc, engine = build()
+        seen = []
+        engine.on_job_complete(lambda job, cycle: seen.append(cycle))
+        engine.enqueue_read(0x1000, 16)
+        drain(soc)
+        assert len(seen) == 1
+
+    def test_sequential_jobs_all_complete(self):
+        soc, engine = build()
+        jobs = [engine.enqueue_read(0x1000 + i * 0x1000, 256)
+                for i in range(5)]
+        drain(soc)
+        assert all(job.completed is not None for job in jobs)
+        assert len(engine.jobs_completed) == 5
+
+
+class TestValidation:
+    def test_unaligned_size_rejected(self):
+        soc, engine = build()
+        with pytest.raises(ConfigurationError):
+            engine.enqueue_read(0x1000, 17)
+
+    def test_zero_size_rejected(self):
+        soc, engine = build()
+        with pytest.raises(ConfigurationError):
+            engine.enqueue_read(0x1000, 0)
+
+    def test_mismatched_write_data_rejected(self):
+        soc, engine = build()
+        with pytest.raises(ConfigurationError):
+            engine.enqueue_write(0x1000, 32, data=b"short")
+
+    def test_invalid_burst_len_rejected(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        with pytest.raises(ConfigurationError):
+            AxiMasterEngine(soc.sim, "bad", soc.port(0), burst_len=0)
+
+    def test_invalid_outstanding_rejected(self):
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        with pytest.raises(ConfigurationError):
+            AxiMasterEngine(soc.sim, "bad", soc.port(0), max_outstanding=0)
+
+
+class TestBurstBehaviour:
+    def test_transfer_split_to_preferred_burst(self):
+        soc, engine = build(burst_len=16)
+        issued = []
+        soc.port(0).ar.subscribe_push(
+            lambda cycle, beat: issued.append(beat.length))
+        engine.enqueue_read(0x0, 16 * 16 * 4)  # 4 x 16-beat bursts
+        drain(soc)
+        assert issued == [16, 16, 16, 16]
+
+    def test_4kb_boundary_respected(self):
+        soc, engine = build(burst_len=256)
+        issued = []
+        soc.port(0).ar.subscribe_push(
+            lambda cycle, beat: issued.append((beat.address, beat.length)))
+        engine.enqueue_read(0xF80, 256)        # crosses 4 KiB if naive
+        drain(soc)
+        assert len(issued) == 2
+        for address, length in issued:
+            assert (address // 4096) == ((address + length * 16 - 1) // 4096)
+
+    def test_outstanding_limit_respected(self):
+        soc, engine = build(burst_len=16, max_outstanding=2)
+        in_flight = [0]
+        peak = [0]
+
+        def on_ar(cycle, beat):
+            in_flight[0] += 1
+            peak[0] = max(peak[0], in_flight[0])
+
+        def on_r(cycle, beat):
+            if beat.last:
+                in_flight[0] -= 1
+
+        soc.port(0).ar.subscribe_push(on_ar)
+        soc.port(0).r.subscribe_pop(on_r)
+        engine.enqueue_read(0x0, 16 * 16 * 8)
+        drain(soc)
+        assert peak[0] <= 2
+
+    def test_write_data_follows_aw_order(self):
+        soc, engine = build()
+        # protocol checker on the master link would catch violations;
+        # here we assert per-burst W counts via the memory's beat counter
+        engine.enqueue_write(0x0, 1024)
+        drain(soc)
+        assert soc.memory.writes_served == 4   # 1024B = 4 x 16-beat bursts
+
+    def test_w_beat_gap_slows_supply(self):
+        soc_fast, fast = build()
+        fast.enqueue_write(0x0, 512)
+        fast_cycles = drain(soc_fast)
+        soc_slow, slow = build(w_beat_gap=4)
+        slow.enqueue_write(0x0, 512)
+        slow_cycles = drain(soc_slow)
+        assert slow_cycles > fast_cycles
+
+
+class TestDataIntegrity:
+    def test_write_then_read_round_trip(self):
+        soc, engine = build(with_store=True, collect_data=True)
+        payload = bytes((i * 7) & 0xFF for i in range(512))
+        engine.enqueue_write(0x4000, 512, data=payload)
+        drain(soc)
+        job = engine.enqueue_read(0x4000, 512)
+        drain(soc)
+        assert bytes(job.result) == payload
+
+    def test_read_without_collect_has_no_result(self):
+        soc, engine = build(with_store=True, collect_data=False)
+        job = engine.enqueue_read(0x4000, 64)
+        drain(soc)
+        assert job.result is None
+
+
+class TestStats:
+    def test_byte_counters(self):
+        soc, engine = build()
+        engine.enqueue_read(0x0, 256)
+        engine.enqueue_write(0x4000, 512)
+        drain(soc)
+        assert engine.bytes_read == 256
+        assert engine.bytes_written == 512
+
+    def test_latency_stats_populated(self):
+        soc, engine = build()
+        engine.enqueue_read(0x0, 512)
+        engine.enqueue_write(0x4000, 512)
+        drain(soc)
+        assert engine.read_latency.count == 2   # 512B = 2 bursts
+        assert engine.write_latency.count == 2
+        assert engine.read_latency.mean > 0

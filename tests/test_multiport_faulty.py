@@ -1,0 +1,214 @@
+"""Tests: multi-port memory, cascaded HyperConnects, fault injection."""
+
+import pytest
+
+from repro.axi import AxiLink, PropagationProbe, Resp
+from repro.hyperconnect import HyperConnect
+from repro.masters import AxiDma, AxiMasterEngine, GreedyTrafficGenerator
+from repro.memory import (
+    DramTiming,
+    FaultInjectingMemory,
+    MemoryStore,
+    MultiPortMemorySubsystem,
+)
+from repro.platforms import ZCU102
+from repro.sim import ConfigurationError, Simulator
+
+
+def build_dual_hp_system(with_store=False):
+    """Two HyperConnects, one per HP port, sharing one DRAM (Fig. 1)."""
+    sim = Simulator("dual-hp", clock_hz=ZCU102.pl_clock_hz)
+    links = [AxiLink(sim, f"hp{i}", data_bytes=16) for i in range(2)]
+    hcs = [HyperConnect(sim, f"hc{i}", 2, links[i]) for i in range(2)]
+    store = MemoryStore() if with_store else None
+    memory = MultiPortMemorySubsystem(sim, "ddr", links,
+                                      timing=ZCU102.dram, store=store)
+    return sim, hcs, memory, store
+
+
+class TestMultiPortMemory:
+    def test_single_port_behaves_like_plain_memory(self):
+        sim, hcs, memory, __ = build_dual_hp_system()
+        dma = AxiDma(sim, "dma", hcs[0].port(0))
+        job = dma.enqueue_read(0x1000, 16)
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=10_000)
+        # same structural pipeline + shared-controller timing
+        assert job.latency == 43
+
+    def test_routes_by_source_port(self):
+        sim, hcs, memory, __ = build_dual_hp_system()
+        a = AxiDma(sim, "a", hcs[0].port(0))
+        b = AxiDma(sim, "b", hcs[1].port(0))
+        ja = a.enqueue_read(0x1000, 1024)
+        jb = b.enqueue_write(0x9000, 1024)
+        sim.run_until(lambda: ja.completed and jb.completed,
+                      max_cycles=100_000)
+        assert memory.per_port_beats[0] == 64
+        assert memory.per_port_beats[1] == 64
+        assert memory.idle()
+
+    def test_data_integrity_across_ports(self):
+        sim, hcs, memory, store = build_dual_hp_system(with_store=True)
+        writer = AxiMasterEngine(sim, "w", hcs[0].port(0))
+        reader = AxiMasterEngine(sim, "r", hcs[1].port(0),
+                                 collect_data=True)
+        payload = bytes((i * 3 + 1) & 0xFF for i in range(1024))
+        writer.enqueue_write(0x4000, 1024, data=payload)
+        sim.run_until(lambda: not writer.busy, max_cycles=100_000)
+        job = reader.enqueue_read(0x4000, 1024)
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=100_000)
+        assert bytes(job.result) == payload
+
+    def test_dram_bandwidth_shared_fairly_between_ports(self):
+        sim, hcs, memory, __ = build_dual_hp_system()
+        a = GreedyTrafficGenerator(sim, "a", hcs[0].port(0),
+                                   job_bytes=8192, depth=4)
+        b = GreedyTrafficGenerator(sim, "b", hcs[1].port(0),
+                                   job_bytes=8192, depth=4)
+        sim.run(100_000)
+        total = memory.per_port_beats[0] + memory.per_port_beats[1]
+        share = memory.per_port_beats[0] / total
+        assert share == pytest.approx(0.5, abs=0.05)
+        # the single DRAM data bus is the bottleneck: ~1 beat/cycle total
+        assert total == pytest.approx(100_000, rel=0.1)
+
+    def test_per_hc_reservation_within_a_port(self):
+        sim, hcs, memory, __ = build_dual_hp_system()
+        from repro.hyperconnect import HyperConnectDriver
+        driver = HyperConnectDriver(hcs[0])
+        driver.set_period(2048)
+        victim = GreedyTrafficGenerator(sim, "v", hcs[0].port(0),
+                                        job_bytes=8192, depth=4)
+        rogue = GreedyTrafficGenerator(sim, "g", hcs[0].port(1),
+                                       job_bytes=8192, depth=4)
+        driver.set_bandwidth_shares({0: 0.8, 1: 0.2})
+        sim.run(150_000)
+        total = victim.bytes_read + rogue.bytes_read
+        assert victim.bytes_read / total == pytest.approx(0.8, abs=0.05)
+
+    def test_validation(self):
+        sim = Simulator("bad")
+        with pytest.raises(ConfigurationError):
+            MultiPortMemorySubsystem(sim, "m", [])
+        link = AxiLink(sim, "l")
+        with pytest.raises(ConfigurationError):
+            MultiPortMemorySubsystem(sim, "m2", [link], command_depth=0)
+
+
+class TestCascadedHyperConnect:
+    """An EFifoLink is an AxiLink, so HyperConnects compose."""
+
+    def build(self):
+        sim = Simulator("cascade", clock_hz=ZCU102.pl_clock_hz)
+        master = AxiLink(sim, "m", data_bytes=16)
+        parent = HyperConnect(sim, "parent", 2, master)
+        child = HyperConnect(sim, "child", 2, parent.port(0))
+        from repro.memory import MemorySubsystem
+        MemorySubsystem(sim, "mem", master, timing=ZCU102.dram)
+        return sim, parent, child
+
+    def test_latency_is_additive(self):
+        sim, parent, child = self.build()
+        probe = PropagationProbe(child.port(0).ar,
+                                 parent.master_link.ar)
+        dma = AxiDma(sim, "dma", child.port(0))
+        job = dma.enqueue_read(0x1000, 16)
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=10_000)
+        # cascading shares the boundary eFIFO: the child's master stage
+        # IS the parent's slave eFIFO, so d_AR = 3 + 4 = 7 (not 4 + 4)
+        assert probe.latency_max == 7
+        assert job.latency == 43 + 4         # +3 on AR path, +1 on R path
+
+    def test_traffic_flows_through_both_levels(self):
+        sim, parent, child = self.build()
+        inner = AxiDma(sim, "inner", child.port(0))
+        outer = AxiDma(sim, "outer", parent.port(1))
+        ji = inner.enqueue_read(0x0, 2048)
+        jo = outer.enqueue_read(0x8000, 2048)
+        sim.run_until(lambda: ji.completed and jo.completed,
+                      max_cycles=100_000)
+        assert child.total_grants == 8
+        assert parent.total_grants == 16
+
+
+class TestFaultInjection:
+    def build(self, **kwargs):
+        sim = Simulator("faulty", clock_hz=ZCU102.pl_clock_hz)
+        master = AxiLink(sim, "m", data_bytes=16)
+        hc = HyperConnect(sim, "hc", 2, master)
+        kwargs.setdefault("timing", ZCU102.dram)
+        memory = FaultInjectingMemory(sim, "mem", master, **kwargs)
+        return sim, hc, memory
+
+    def test_read_errors_reach_the_master(self):
+        sim, hc, memory = self.build(error_rate=1.0, seed=3)
+        responses = []
+        hc.port(0).r.subscribe_push(
+            lambda cycle, beat: responses.append(beat.resp))
+        dma = AxiDma(sim, "dma", hc.port(0))
+        job = dma.enqueue_read(0x0, 256)
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=10_000)
+        assert Resp.SLVERR in responses
+        assert memory.errors_injected > 0
+
+    def test_write_errors_merge_into_single_b(self):
+        sim, hc, memory = self.build(error_rate=1.0, seed=3)
+        responses = []
+        hc.port(0).b.subscribe_push(
+            lambda cycle, beat: responses.append(beat.resp))
+        dma = AxiDma(sim, "dma", hc.port(0), burst_len=64)
+        job = dma.enqueue_write(0x0, 64 * 16)
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=20_000)
+        assert responses == [Resp.SLVERR]
+
+    def test_error_window_scopes_faults(self):
+        sim, hc, memory = self.build(error_rate=1.0,
+                                     error_window=(0x10_0000, 0x20_0000))
+        responses = []
+        hc.port(0).r.subscribe_push(
+            lambda cycle, beat: responses.append(beat.resp))
+        dma = AxiDma(sim, "dma", hc.port(0))
+        clean = dma.enqueue_read(0x0, 256)
+        dirty = dma.enqueue_read(0x10_0000, 256)
+        sim.run_until(lambda: dirty.completed is not None,
+                      max_cycles=20_000)
+        assert responses[:16] == [Resp.OKAY] * 16
+        assert Resp.SLVERR in responses[16:]
+
+    def test_stalls_slow_but_never_corrupt(self):
+        timing = DramTiming(read_latency=10, write_latency=5,
+                            resp_latency=2)
+        sim, hc, memory = self.build(stall_rate=0.2, stall_cycles=10,
+                                     timing=timing, seed=11,
+                                     store=MemoryStore())
+        memory.store.fill_pattern(0x100, 1024, seed=5)
+        engine = AxiMasterEngine(sim, "m", hc.port(0), collect_data=True)
+        job = engine.enqueue_read(0x100, 1024)
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=100_000)
+        assert memory.stalls_injected > 0
+        assert bytes(job.result) == memory.store.read(0x100, 1024)
+
+    def test_seeded_runs_reproducible(self):
+        def run(seed):
+            sim, hc, memory = self.build(error_rate=0.3, seed=seed)
+            dma = AxiDma(sim, "dma", hc.port(0))
+            job = dma.enqueue_read(0x0, 4096)
+            sim.run_until(lambda: job.completed is not None,
+                          max_cycles=100_000)
+            return memory.errors_injected
+
+        assert run(7) == run(7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.build(error_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            self.build(stall_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            self.build(stall_cycles=0)

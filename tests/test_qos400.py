@@ -1,0 +1,128 @@
+"""Tests for the PS-side QoS regulator — and the paper's claim about it.
+
+The headline test reproduces the Related-Work argument: a QoS-400-style
+block at the FPGA-PS boundary can shape the aggregate flow but cannot
+protect one HA from another, because the merged stream carries no per-HA
+information; the HyperConnect's per-port reservation can.
+"""
+
+import pytest
+
+from repro.axi import AxiLink
+from repro.masters import GreedyTrafficGenerator
+from repro.memory import DramTiming, MemorySubsystem, PsQosRegulator
+from repro.platforms import ZCU102
+from repro.sim import ConfigurationError, Simulator
+from repro.smartconnect import SmartConnect, smartconnect_master_link
+from repro.system import SocSystem
+
+
+def build_regulated_system(rate_budget=None, rate_period=1024,
+                           max_outstanding=None):
+    """SmartConnect + QoS regulator at the PS boundary + memory."""
+    sim = Simulator("qos", clock_hz=ZCU102.pl_clock_hz)
+    fabric_side = smartconnect_master_link(sim, "fabric")
+    ps_side = AxiLink(sim, "ps", data_bytes=16)
+    interconnect = SmartConnect(sim, "sc", 2, fabric_side)
+    regulator = PsQosRegulator(sim, "qos400", fabric_side, ps_side,
+                               rate_budget=rate_budget,
+                               rate_period=rate_period,
+                               max_outstanding=max_outstanding)
+    MemorySubsystem(sim, "mem", ps_side, timing=ZCU102.dram)
+    return sim, interconnect, regulator
+
+
+class TestRegulatorMechanics:
+    def test_unregulated_pass_through(self):
+        sim, interconnect, regulator = build_regulated_system()
+        greedy = GreedyTrafficGenerator(sim, "g", interconnect.port(0),
+                                        job_bytes=4096, depth=2)
+        sim.run(30_000)
+        assert greedy.bytes_read > 0
+        assert regulator.throttled_cycles == 0
+
+    def test_rate_limit_caps_aggregate_bandwidth(self):
+        # 16 transactions of 16 beats per 1024 cycles = 25 % of the bus
+        sim, interconnect, regulator = build_regulated_system(
+            rate_budget=16, rate_period=1024)
+        greedy = GreedyTrafficGenerator(sim, "g", interconnect.port(0),
+                                        job_bytes=4096, depth=4)
+        sim.run(100_000)
+        bandwidth = greedy.bytes_read / 100_000
+        assert bandwidth == pytest.approx(0.25 * 16, rel=0.1)
+        assert regulator.throttled_cycles > 0
+
+    def test_outstanding_limit_enforced(self):
+        sim, interconnect, regulator = build_regulated_system(
+            max_outstanding=2)
+        GreedyTrafficGenerator(sim, "g", interconnect.port(0),
+                               job_bytes=4096, depth=4)
+        peak = 0
+        for _ in range(20_000):
+            sim.step()
+            peak = max(peak, regulator._outstanding)
+        assert peak <= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_regulated_system(rate_budget=0)
+        with pytest.raises(ConfigurationError):
+            build_regulated_system(max_outstanding=0)
+        with pytest.raises(ConfigurationError):
+            build_regulated_system(rate_budget=1, rate_period=0)
+
+
+class TestPaperClaim:
+    """'The QoS-400 does not allow controlling the bus bandwidth provided
+    to each individual HA.'"""
+
+    def _shares_with_regulation(self, rate_budget):
+        sim, interconnect, __ = build_regulated_system(
+            rate_budget=rate_budget, rate_period=1024)
+        victim = GreedyTrafficGenerator(sim, "victim",
+                                        interconnect.port(0),
+                                        job_bytes=4096, burst_len=16,
+                                        depth=4)
+        bully = GreedyTrafficGenerator(sim, "bully",
+                                       interconnect.port(1),
+                                       job_bytes=4096, burst_len=256,
+                                       depth=4)
+        sim.run(150_000)
+        total = victim.bytes_read + bully.bytes_read
+        return victim.bytes_read / total, total
+
+    def test_ps_side_regulation_cannot_rebalance_has(self):
+        """Sweeping the aggregate throttle never changes the victim's
+        *relative* share — only the total shrinks."""
+        unthrottled_share, unthrottled_total = \
+            self._shares_with_regulation(None)
+        shares = []
+        totals = []
+        # note: with 256-beat bully bursts, transaction-rate budgets must
+        # be tiny before they bind at all — itself evidence of how blunt
+        # aggregate regulation is
+        for budget in (4, 2, 1):
+            share, total = self._shares_with_regulation(budget)
+            shares.append(share)
+            totals.append(total)
+        # the victim stays starved at every setting ...
+        assert unthrottled_share < 0.25
+        for share in shares:
+            assert share < 0.3
+        # ... while aggregate throughput is destroyed
+        assert totals[-1] < 0.3 * unthrottled_total
+
+    def test_hyperconnect_reservation_does_rebalance(self):
+        """The same scenario on the fabric side: per-port reservation
+        gives the victim whatever share the integrator chooses."""
+        soc = SocSystem.build(ZCU102, n_ports=2, period=2048)
+        victim = GreedyTrafficGenerator(soc.sim, "victim", soc.port(0),
+                                        job_bytes=4096, burst_len=16,
+                                        depth=4)
+        bully = GreedyTrafficGenerator(soc.sim, "bully", soc.port(1),
+                                       job_bytes=4096, burst_len=256,
+                                       depth=4)
+        soc.driver.set_bandwidth_shares({0: 0.7, 1: 0.3})
+        soc.sim.run(150_000)
+        total = victim.bytes_read + bully.bytes_read
+        assert victim.bytes_read / total == pytest.approx(0.7, abs=0.05)

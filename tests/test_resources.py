@@ -1,0 +1,104 @@
+"""Tests for the parametric resource model (Table I)."""
+
+import pytest
+
+from repro.platforms import ZCU102, ZYNQ_7020
+from repro.resources import (
+    ResourceEstimate,
+    hyperconnect_breakdown,
+    hyperconnect_resources,
+    resource_table,
+    smartconnect_resources,
+)
+from repro.sim import ConfigurationError
+
+
+class TestTableOneCalibration:
+    """The paper's exact numbers at the N=2, 128-bit design point."""
+
+    def test_hyperconnect_matches_paper(self):
+        estimate = hyperconnect_resources(2, data_bytes=16)
+        assert estimate.lut == 3020
+        assert estimate.ff == 1289
+        assert estimate.bram == 0
+        assert estimate.dsp == 0
+
+    def test_smartconnect_matches_paper(self):
+        estimate = smartconnect_resources(2, data_bytes=16)
+        assert estimate.lut == 3785
+        assert estimate.ff == 7137
+        assert estimate.bram == 0
+        assert estimate.dsp == 0
+
+    def test_hyperconnect_cheaper_than_smartconnect(self):
+        hc = hyperconnect_resources(2)
+        sc = smartconnect_resources(2)
+        assert hc.lut < sc.lut
+        assert hc.ff < sc.ff
+
+
+class TestScaling:
+    @pytest.mark.parametrize("model", [hyperconnect_resources,
+                                       smartconnect_resources])
+    def test_monotonic_in_ports(self, model):
+        previous = model(1)
+        for n_ports in range(2, 9):
+            estimate = model(n_ports)
+            assert estimate.lut > previous.lut
+            assert estimate.ff > previous.ff
+            previous = estimate
+
+    @pytest.mark.parametrize("model", [hyperconnect_resources,
+                                       smartconnect_resources])
+    def test_monotonic_in_width(self, model):
+        assert model(2, data_bytes=8).lut < model(2, data_bytes=16).lut
+        assert model(2, data_bytes=16).lut < model(2, data_bytes=32).lut
+
+    def test_breakdown_sums_to_total(self):
+        for n_ports in (1, 2, 4, 8):
+            breakdown = hyperconnect_breakdown(n_ports)
+            total_lut = sum(part.lut for part in breakdown.values())
+            total_ff = sum(part.ff for part in breakdown.values())
+            estimate = hyperconnect_resources(n_ports)
+            assert total_lut == estimate.lut
+            assert total_ff == estimate.ff
+
+    def test_breakdown_modules(self):
+        breakdown = hyperconnect_breakdown(2)
+        assert set(breakdown) == {"efifo_slave_ports",
+                                  "transaction_supervisors", "exbar",
+                                  "efifo_master", "central_unit"}
+
+    def test_invalid_ports(self):
+        with pytest.raises(ConfigurationError):
+            hyperconnect_resources(0)
+        with pytest.raises(ConfigurationError):
+            smartconnect_resources(0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            hyperconnect_resources(2, data_bytes=0)
+
+
+class TestUtilizationAndReport:
+    def test_utilization_fractions(self):
+        estimate = hyperconnect_resources(2)
+        util = estimate.utilization(ZCU102.resources)
+        assert util["lut"] == pytest.approx(3020 / 274080)
+        assert util["ff"] == pytest.approx(1289 / 548160)
+        assert util["bram"] == 0.0
+        assert util["dsp"] == 0.0
+
+    def test_estimate_addition(self):
+        total = ResourceEstimate(1, 2) + ResourceEstimate(10, 20, 1, 2)
+        assert (total.lut, total.ff, total.bram, total.dsp) == (11, 22, 1, 2)
+
+    def test_report_contains_paper_numbers(self):
+        text = resource_table(ZCU102, n_ports=2)
+        assert "3020" in text and "1289" in text
+        assert "3785" in text and "7137" in text
+        assert "HyperConnect" in text and "SmartConnect" in text
+
+    def test_report_for_other_platform(self):
+        text = resource_table(ZYNQ_7020, n_ports=2, data_bytes=8)
+        assert "Zynq-7020" in text

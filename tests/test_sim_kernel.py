@@ -1,0 +1,146 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim import Channel, Component, SimulationError, Simulator
+
+
+class Producer(Component):
+    """Pushes an incrementing counter every cycle."""
+
+    def __init__(self, sim, name, channel):
+        super().__init__(sim, name)
+        self.channel = channel
+        self.counter = 0
+
+    def tick(self, cycle):
+        if self.channel.can_push():
+            self.channel.push(self.counter)
+            self.counter += 1
+
+
+class Consumer(Component):
+    """Pops everything visible."""
+
+    def __init__(self, sim, name, channel):
+        super().__init__(sim, name)
+        self.channel = channel
+        self.received = []
+
+    def tick(self, cycle):
+        while self.channel.can_pop():
+            self.received.append((cycle, self.channel.pop()))
+
+
+class TestClock:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_step_advances_one_cycle(self):
+        sim = Simulator()
+        sim.step()
+        assert sim.now == 1
+
+    def test_run_fixed_cycles(self):
+        sim = Simulator()
+        sim.run(17)
+        assert sim.now == 17
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().run(-1)
+
+    def test_seconds_conversion(self):
+        sim = Simulator(clock_hz=100e6)
+        sim.run(100)
+        assert sim.seconds() == pytest.approx(1e-6)
+        assert sim.seconds(50) == pytest.approx(0.5e-6)
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(clock_hz=0)
+
+
+class TestExecution:
+    def test_producer_consumer_pipeline(self):
+        sim = Simulator()
+        channel = Channel(sim, "ch", latency=1, capacity=2)
+        producer = Producer(sim, "p", channel)
+        consumer = Consumer(sim, "c", channel)
+        sim.run(10)
+        values = [v for (_, v) in consumer.received]
+        assert values == list(range(9))  # one cycle of pipeline fill
+
+    def test_tick_order_does_not_matter(self):
+        # identical system, consumer registered before producer
+        def build(consumer_first):
+            sim = Simulator()
+            channel = Channel(sim, "ch", latency=1, capacity=2)
+            if consumer_first:
+                consumer = Consumer(sim, "c", channel)
+                producer = Producer(sim, "p", channel)
+            else:
+                producer = Producer(sim, "p", channel)
+                consumer = Consumer(sim, "c", channel)
+            sim.run(20)
+            return [v for (_, v) in consumer.received]
+
+        assert build(True) == build(False)
+
+    def test_run_until_returns_elapsed(self):
+        sim = Simulator()
+        elapsed = sim.run_until(lambda: sim.now >= 7)
+        assert elapsed == 7
+
+    def test_run_until_timeout_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, max_cycles=10)
+
+    def test_run_until_check_every(self):
+        sim = Simulator()
+        sim.run_until(lambda: sim.now >= 10, check_every=4)
+        # predicate only checked every 4 cycles, so we overshoot to 12
+        assert sim.now == 12
+
+    def test_finish_blocks_further_steps(self):
+        sim = Simulator()
+        sim.finish()
+        with pytest.raises(SimulationError):
+            sim.step()
+
+
+class TestRegistry:
+    def test_lookup_component_and_channel(self):
+        sim = Simulator()
+        channel = Channel(sim, "ch")
+        producer = Producer(sim, "p", channel)
+        assert sim.lookup("ch") is channel
+        assert sim.lookup("p") is producer
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().lookup("ghost")
+
+    def test_duplicate_component_name_rejected(self):
+        sim = Simulator()
+        channel = Channel(sim, "ch")
+        Producer(sim, "p", channel)
+        with pytest.raises(SimulationError):
+            Consumer(sim, "p", channel)
+
+    def test_views_are_copies(self):
+        sim = Simulator()
+        channel = Channel(sim, "ch")
+        components = sim.components
+        channels = sim.channels
+        components.clear()
+        channels.clear()
+        assert sim.lookup("ch") is channel
+
+    def test_idle_reflects_channel_contents(self):
+        sim = Simulator()
+        channel = Channel(sim, "ch")
+        assert sim.idle()
+        channel.push(1)
+        assert not sim.idle()

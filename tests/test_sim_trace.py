@@ -1,0 +1,57 @@
+"""Unit tests for the event tracer."""
+
+from repro.sim import Tracer
+
+
+class TestTracer:
+    def test_record_and_read(self):
+        tracer = Tracer()
+        tracer.record(5, "dma", "grant", port=1)
+        events = tracer.events()
+        assert len(events) == 1
+        assert events[0].cycle == 5
+        assert events[0].source == "dma"
+        assert events[0].fields == {"port": 1}
+
+    def test_filters(self):
+        tracer = Tracer()
+        tracer.record(1, "a", "x")
+        tracer.record(2, "b", "x")
+        tracer.record(3, "a", "y")
+        assert len(tracer.events(source="a")) == 2
+        assert len(tracer.events(kind="x")) == 2
+        assert len(tracer.events(source="a", kind="y")) == 1
+        assert len(tracer.events(predicate=lambda e: e.cycle > 1)) == 2
+
+    def test_last(self):
+        tracer = Tracer()
+        tracer.record(1, "a", "x")
+        tracer.record(2, "a", "y")
+        assert tracer.last().cycle == 2
+        assert tracer.last(kind="x").cycle == 1
+        assert tracer.last(kind="zzz") is None
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(limit=3)
+        for cycle in range(5):
+            tracer.record(cycle, "s", "k")
+        events = tracer.events()
+        assert [e.cycle for e in events] == [2, 3, 4]
+        assert tracer.dropped == 2
+
+    def test_disabled_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1, "a", "x")
+        assert len(tracer) == 0
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(1, "a", "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_dump_contains_fields(self):
+        tracer = Tracer()
+        tracer.record(7, "exbar", "grant", port=3)
+        text = tracer.dump()
+        assert "exbar" in text and "grant" in text and "port=3" in text

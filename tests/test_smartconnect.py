@@ -1,0 +1,147 @@
+"""Unit/integration tests for the SmartConnect baseline model."""
+
+import pytest
+
+from repro.axi import PropagationProbe
+from repro.masters import AxiDma, GreedyTrafficGenerator
+from repro.platforms import ZCU102
+from repro.sim import ConfigurationError, Simulator
+from repro.smartconnect import (
+    INPUT_STAGE_LATENCY,
+    OUTPUT_STAGE_LATENCY,
+    SmartConnect,
+    smartconnect_master_link,
+)
+from repro.system import SocSystem
+
+from conftest import drain
+
+
+class TestLatency:
+    """The measured Fig. 3(a) SmartConnect latencies."""
+
+    def test_stage_latencies_sum_to_measured_values(self):
+        for role, expected in (("AR", 12), ("AW", 12), ("R", 11),
+                               ("W", 3), ("B", 2)):
+            total = INPUT_STAGE_LATENCY[role] + OUTPUT_STAGE_LATENCY[role]
+            assert total == expected, role
+
+    def test_address_channels_twelve_cycles(self, sc_soc):
+        ar = PropagationProbe(sc_soc.port(0).ar, sc_soc.master_link.ar)
+        aw = PropagationProbe(sc_soc.port(0).aw, sc_soc.master_link.aw)
+        dma = AxiDma(sc_soc.sim, "dma", sc_soc.port(0))
+        dma.enqueue_read(0x0, 16)
+        dma.enqueue_write(0x9000, 16)
+        drain(sc_soc)
+        assert ar.latency_max == 12
+        assert aw.latency_max == 12
+
+    def test_r_channel_eleven_cycles(self, sc_soc):
+        probe = PropagationProbe(sc_soc.master_link.r, sc_soc.port(0).r)
+        dma = AxiDma(sc_soc.sim, "dma", sc_soc.port(0))
+        dma.enqueue_read(0x0, 256)
+        drain(sc_soc)
+        assert probe.latency_max == 11
+
+    def test_b_channel_two_cycles(self, sc_soc):
+        probe = PropagationProbe(sc_soc.master_link.b, sc_soc.port(0).b)
+        dma = AxiDma(sc_soc.sim, "dma", sc_soc.port(0))
+        dma.enqueue_write(0x9000, 256)
+        drain(sc_soc)
+        assert probe.latency_max == 2
+
+    def test_w_channel_three_cycles_steady_state(self, sc_soc):
+        probe = PropagationProbe(sc_soc.port(0).w, sc_soc.master_link.w)
+        dma = AxiDma(sc_soc.sim, "dma", sc_soc.port(0), w_beat_gap=16)
+        dma.enqueue_write(0x9000, 512)
+        drain(sc_soc)
+        assert probe.stats.minimum == 3
+
+
+class TestThroughput:
+    def test_sustains_full_bandwidth(self, sc_soc):
+        dma = AxiDma(sc_soc.sim, "dma", sc_soc.port(0))
+        job = dma.enqueue_read(0x0, 65536)
+        cycles = drain(sc_soc)
+        assert 65536 / job.latency > 14.5  # ~1 beat/cycle
+
+
+class TestArbitration:
+    def test_no_equalization_bursts_pass_through(self, sc_soc):
+        lengths = []
+        sc_soc.master_link.ar.subscribe_push(
+            lambda cycle, beat: lengths.append(beat.length))
+        dma = AxiDma(sc_soc.sim, "dma", sc_soc.port(0), burst_len=256)
+        dma.enqueue_read(0x0, 256 * 16)
+        drain(sc_soc)
+        assert lengths == [256]
+
+    def test_unfair_under_heterogeneous_bursts(self):
+        soc = SocSystem.build(ZCU102, interconnect="smartconnect",
+                              n_ports=2)
+        big = GreedyTrafficGenerator(soc.sim, "big", soc.port(0),
+                                     job_bytes=4096, burst_len=256,
+                                     depth=4)
+        small = GreedyTrafficGenerator(soc.sim, "small", soc.port(1),
+                                       job_bytes=4096, burst_len=16,
+                                       depth=4)
+        soc.sim.run(150_000)
+        # the long-burst master starves the short-burst one ([11])
+        assert big.bytes_read > 4 * small.bytes_read
+
+    def test_variable_granularity_grants_consecutively(self):
+        soc = SocSystem.build(ZCU102, interconnect="smartconnect",
+                              n_ports=2, max_granularity=4)
+        grants = []
+        soc.master_link.ar.subscribe_push(
+            lambda cycle, beat: grants.append(beat.port))
+        GreedyTrafficGenerator(soc.sim, "a", soc.port(0), job_bytes=4096,
+                               burst_len=16, depth=4)
+        GreedyTrafficGenerator(soc.sim, "b", soc.port(1), job_bytes=4096,
+                               burst_len=16, depth=4)
+        soc.sim.run(60_000)
+        streaks = []
+        current = 1
+        for previous, this in zip(grants, grants[1:]):
+            if this == previous:
+                current += 1
+            else:
+                streaks.append(current)
+                current = 1
+        # consecutive grants up to the granularity bound occur
+        assert max(streaks) > 1
+        assert max(streaks) <= 4
+
+    def test_granularity_one_behaves_like_fixed(self):
+        soc = SocSystem.build(ZCU102, interconnect="smartconnect",
+                              n_ports=2, max_granularity=1)
+        grants = []
+        soc.master_link.ar.subscribe_push(
+            lambda cycle, beat: grants.append(beat.port))
+        GreedyTrafficGenerator(soc.sim, "a", soc.port(0), job_bytes=4096,
+                               burst_len=16, depth=4)
+        GreedyTrafficGenerator(soc.sim, "b", soc.port(1), job_bytes=4096,
+                               burst_len=16, depth=4)
+        soc.sim.run(40_000)
+        steady = grants[8:]
+        repeats = sum(1 for previous, this in zip(steady, steady[1:])
+                      if this == previous)
+        assert repeats <= len(steady) // 10
+
+
+class TestConstruction:
+    def test_zero_ports_rejected(self):
+        sim = Simulator("sc")
+        master = smartconnect_master_link(sim, "m")
+        with pytest.raises(ConfigurationError):
+            SmartConnect(sim, "sc0", 0, master)
+
+    def test_invalid_granularity_rejected(self):
+        sim = Simulator("sc")
+        master = smartconnect_master_link(sim, "m")
+        with pytest.raises(ConfigurationError):
+            SmartConnect(sim, "sc0", 2, master, max_granularity=0)
+
+    def test_port_accessor_and_idle(self, sc_soc):
+        assert sc_soc.interconnect.port(0) is sc_soc.port(0)
+        assert sc_soc.interconnect.idle()
