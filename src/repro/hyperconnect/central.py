@@ -28,7 +28,10 @@ class CentralUnit(Component):
         self.supervisors = supervisors
         self._period = period
         self._enabled = enabled
-        self._countdown = period
+        #: absolute cycle of the next synchronous recharge (the paper's
+        #: period counter, kept as a deadline so idle periods need no
+        #: per-cycle countdown work)
+        self._next_recharge = sim.now + period - 1
         self.recharges = 0
         self._apply_enable()
 
@@ -45,7 +48,9 @@ class CentralUnit(Component):
             raise ConfigurationError("reservation period must be >= 1")
         self._period = value
         # a shorter period takes effect no later than the new length
-        self._countdown = min(self._countdown, value)
+        self._next_recharge = min(self._next_recharge,
+                                  self.sim.now + value - 1)
+        self.sim.wake()
 
     @property
     def enabled(self) -> bool:
@@ -60,18 +65,27 @@ class CentralUnit(Component):
     def _apply_enable(self) -> None:
         for supervisor in self.supervisors:
             supervisor.enabled = self._enabled
+        self.sim.wake()
 
     # ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        self._countdown -= 1
-        if self._countdown <= 0:
-            self._countdown = self._period
+        if cycle >= self._next_recharge:
+            self._next_recharge = cycle + self._period
             self.recharges += 1
             for supervisor in self.supervisors:
                 supervisor.recharge()
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """Between recharge deadlines the central unit does nothing."""
+        return cycle < self._next_recharge
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """The recharge deadline is a guaranteed internal event."""
+        return self._next_recharge
+
     def reset(self) -> None:
-        self._countdown = self._period
+        self._next_recharge = self.sim.now + self._period - 1
         for supervisor in self.supervisors:
             supervisor.reset()
+        self.sim.wake()

@@ -100,9 +100,16 @@ class EFifoLink(AxiLink):
         return self.gate.coupled
 
     def decouple(self) -> None:
-        """Disconnect the HA (handshake signals held low)."""
+        """Disconnect the HA (handshake signals held low).
+
+        Wakes the fast kernel path: gate flips change the quiescence of
+        every component watching this port (supervisor, EXBAR, the HA
+        itself), so any cached bulk-skip horizon must be recomputed.
+        """
         self.gate.coupled = False
+        self.sim.wake()
 
     def couple(self) -> None:
         """Reconnect the HA."""
         self.gate.coupled = True
+        self.sim.wake()

@@ -212,6 +212,39 @@ class Exbar(Component):
         self._route_b.popleft()
         self.supervisors[port].note_write_complete()
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """Mirrors every tick action's guard exactly.
+
+        The arbitration pointers only move on a grant, and the routing
+        buffers only change when a beat actually transfers, so a cycle in
+        which every guard below fails is a strict no-op.
+        """
+        if self.out_ar.can_push():
+            for channel in self.ts_ar:
+                if channel.can_pop():
+                    return False
+        if self.out_aw.can_push():
+            for channel in self.ts_aw:
+                if channel.can_pop():
+                    return False
+        master = self.master_link
+        if self._route_w and master.w.can_push():
+            port = self._route_w[0][0]
+            link = self.ha_links[port]
+            if not link.coupled or link.w.can_pop():
+                return False
+        if self._route_r and master.r.can_pop():
+            port = self._route_r[0][0]
+            link = self.ha_links[port]
+            if not link.coupled or link.r.can_push():
+                return False
+        if self._route_b and master.b.can_pop():
+            sub = self._route_b[0]
+            link = self.ha_links[sub.port]
+            if not (sub.final_sub and link.coupled) or link.b.can_push():
+                return False
+        return True
+
     # ------------------------------------------------------------------
 
     @property
@@ -225,3 +258,4 @@ class Exbar(Component):
         self._route_r.clear()
         self._route_w.clear()
         self._route_b.clear()
+        self.sim.wake()

@@ -66,6 +66,12 @@ class MasterEFifo(Component):
         if self.in_aw.can_pop() and self.master_link.aw.can_push():
             self.master_link.aw.push(self.in_aw.pop())
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """Stateless forwarder: only acts when a beat can move."""
+        return not (
+            (self.in_ar.can_pop() and self.master_link.ar.can_push())
+            or (self.in_aw.can_pop() and self.master_link.aw.can_push()))
+
 
 class HyperConnect:
     """The AXI HyperConnect: N slave ports, one master port.
@@ -160,6 +166,9 @@ class HyperConnect:
     # ------------------------------------------------------------------
 
     def _apply_register(self, offset: int, value: int) -> None:
+        # every register side effect may change some component's
+        # quiescence, so drop any cached bulk-skip horizon
+        self.sim.wake()
         if offset == REG_CTRL:
             self.central.enabled = bool(value & 1)
             return

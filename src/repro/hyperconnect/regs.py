@@ -214,3 +214,17 @@ class ControlSlave(Component):
                     resp = Resp.DECERR
             self.link.b.push(RespBeat(txn_id=request.txn_id, resp=resp,
                                       addr_beat=request))
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """Mirrors :meth:`tick`: the slave acts only when a register read
+        can be served, an AW can be accepted, or a pending write can
+        complete (W beat visible and B pushable)."""
+        link = self.link
+        if link.ar.can_pop() and link.r.can_push():
+            return False
+        if self._pending_write is None:
+            if link.aw.can_pop():
+                return False
+        elif link.w.can_pop() and link.b.can_push():
+            return False
+        return True

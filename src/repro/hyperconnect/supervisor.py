@@ -187,9 +187,36 @@ class TransactionSupervisor(Component):
             elif not self._budget_available():
                 self.stalled_on_budget += 1
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """Mirrors :meth:`tick`: decoupled/disabled supervisors are fully
+        idle; otherwise the TS acts when it can ingest, can forward, or is
+        budget-stalled (the stall counter makes a budget-blocked cycle a
+        state change, so it must not be skipped).
+        """
+        if not self.coupled or not self.enabled:
+            return True
+        if not self._pending_ar and self.ha_link.ar.can_pop():
+            return False
+        if not self._pending_aw and self.ha_link.aw.can_pop():
+            return False
+        if self._pending_ar:
+            if not self._budget_available():
+                return False
+            if (self.outstanding_reads < self.config.max_outstanding
+                    and self.out_ar.can_push()):
+                return False
+        if self._pending_aw:
+            if not self._budget_available():
+                return False
+            if (self.outstanding_writes < self.config.max_outstanding
+                    and self.out_aw.can_push()):
+                return False
+        return True
+
     def reset(self) -> None:
         self._pending_ar.clear()
         self._pending_aw.clear()
         self.outstanding_reads = 0
         self.outstanding_writes = 0
         self.budget_remaining = self.config.budget
+        self.sim.wake()

@@ -80,7 +80,9 @@ class PhasedAccelerator(AxiMasterEngine):
         self.frame_latency = OnlineStats()
         self._running = False
         self._phase_index = 0
-        self._compute_remaining = 0
+        #: cycle at which the current compute phase ends (absolute, so
+        #: compute stretches need no per-cycle countdown work)
+        self._compute_until = 0
         self._frame_started: Optional[int] = None
         self._waiting_job: Optional[Job] = None
         self._frame_callbacks: List[Callable[[int, int], None]] = []
@@ -91,6 +93,7 @@ class PhasedAccelerator(AxiMasterEngine):
     def start(self) -> None:
         """Begin processing (the SW-task's request for acceleration)."""
         self._running = True
+        self.sim.wake()
 
     def stop(self) -> None:
         """Stop after the current frame."""
@@ -118,7 +121,7 @@ class PhasedAccelerator(AxiMasterEngine):
         while True:
             if self._waiting_job is not None:
                 return
-            if self._compute_remaining > 0:
+            if cycle < self._compute_until:
                 return
             if self._phase_index >= len(self.phases):
                 self._finish_frame(cycle)
@@ -137,7 +140,7 @@ class PhasedAccelerator(AxiMasterEngine):
                     if self._waiting_job is None:
                         return
                     return
-                self._compute_remaining = phase.cycles
+                self._compute_until = cycle + phase.cycles
                 return
             if phase.kind == "read":
                 job = self.enqueue_read(phase.address, phase.nbytes,
@@ -171,8 +174,23 @@ class PhasedAccelerator(AxiMasterEngine):
     # ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        if self._compute_remaining > 0:
-            self._compute_remaining -= 1
         if self._running:
             self._advance(cycle)
         super().tick(cycle)
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """The phase machine needs its tick whenever it could advance:
+        running, not blocked on a memory job, and not mid-compute."""
+        if (self._running and self._waiting_job is None
+                and cycle >= self._compute_until):
+            return False
+        return super().is_quiescent(cycle)
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Compute-phase completion is a guaranteed internal event."""
+        hint = super().next_event_cycle(cycle)
+        if (self._running and self._waiting_job is None
+                and cycle < self._compute_until):
+            if hint is None or self._compute_until < hint:
+                return self._compute_until
+        return hint

@@ -51,6 +51,11 @@ class AxiDma(AxiMasterEngine):
         :class:`~repro.sim.stats.RateCounter` over round completions —
         the "number of times the DMA is capable of completing its work in
         a second" index from the case study.
+
+    The DMA adds no per-cycle behaviour of its own (round bookkeeping runs
+    inside job-completion callbacks, i.e. within engine ticks), so the
+    engine's quiescence hook applies unchanged: an idle DMA costs the fast
+    kernel path nothing.
     """
 
     def __init__(self, sim, name: str, link, burst_len: int = 16,

@@ -107,7 +107,9 @@ class AxiMasterEngine(Component):
         #: Latency-measurement experiments use a non-zero gap so the W
         #: path is observed without self-inflicted queueing.
         self.w_beat_gap = w_beat_gap
-        self._w_gap_countdown = 0
+        #: first cycle at which the next W beat may be supplied (absolute,
+        #: so idle gap cycles need no per-cycle countdown work)
+        self._w_gap_until = 0
         self._ids = IdAllocator(id_bits)
         self._jobs: Deque[Job] = deque()
         self._active_jobs: List[Job] = []
@@ -127,22 +129,33 @@ class AxiMasterEngine(Component):
         self.jobs_completed: List[Job] = []
         self.bytes_read = 0
         self.bytes_written = 0
-        #: when False the engine is completely tri-stated: it neither
-        #: issues nor consumes beats.  Set it when the accelerator has
-        #: been swapped out by dynamic partial reconfiguration and a new
-        #: engine drives the same port.
-        self.active = True
+        self._active = True
         self._completion_callbacks: List[Callable[[Job, int], None]] = []
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
+    @property
+    def active(self) -> bool:
+        """When False the engine is completely tri-stated: it neither
+        issues nor consumes beats.  Clear it when the accelerator has
+        been swapped out by dynamic partial reconfiguration and a new
+        engine drives the same port.
+        """
+        return self._active
+
+    @active.setter
+    def active(self, value: bool) -> None:
+        self._active = bool(value)
+        self.sim.wake()
+
     def enqueue_read(self, address: int, nbytes: int,
                      label: str = "") -> Job:
         """Queue a read of ``nbytes`` from ``address``."""
         job = Job("read", address, self._check_size(nbytes), label=label)
         self._jobs.append(job)
+        self.sim.wake()
         return job
 
     def enqueue_write(self, address: int, nbytes: int,
@@ -159,6 +172,7 @@ class AxiMasterEngine(Component):
         job = Job("write", address, self._check_size(nbytes), data=data,
                   label=label)
         self._jobs.append(job)
+        self.sim.wake()
         return job
 
     def enqueue_copy(self, source: int, dest: int, nbytes: int,
@@ -167,6 +181,7 @@ class AxiMasterEngine(Component):
         job = Job("copy", source, self._check_size(nbytes), dest=dest,
                   label=label)
         self._jobs.append(job)
+        self.sim.wake()
         return job
 
     def on_job_complete(self, callback: Callable[[Job, int], None]) -> None:
@@ -240,6 +255,45 @@ class AxiMasterEngine(Component):
         self._collect_write_responses(cycle)
         self._drain_copy_buffer(cycle)
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """True when no tick sub-step could act this cycle.
+
+        Mirrors :meth:`tick` exactly: nothing to collect (R/B heads not
+        visible), nothing to prepare, the issue-queue head blocked by
+        outstanding/ID/channel limits, and W supply gated or blocked.
+        Copy staging is treated conservatively (never quiescent while the
+        copy buffer holds beats).
+        """
+        if not self._active:
+            return True
+        link = self.link
+        if link.r.can_pop() or link.b.can_pop():
+            return False
+        if self._jobs and len(self._issue_queue) < 2 * self.burst_len:
+            return False
+        if self._copy_buffer:
+            return False
+        if self._issue_queue:
+            in_flight = (len(self._outstanding_reads)
+                         + len(self._outstanding_writes))
+            if in_flight < self.max_outstanding and self._ids.available():
+                request, _job = self._issue_queue[0]
+                if request.is_read:
+                    if link.ar.can_push():
+                        return False
+                elif link.aw.can_push():
+                    return False
+        if (self._write_data and cycle >= self._w_gap_until
+                and link.w.can_push()):
+            return False
+        return True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """The W-beat gap timer is the engine's only internal alarm."""
+        if self._active and self._write_data and cycle < self._w_gap_until:
+            return self._w_gap_until
+        return None
+
     # -- address issue --------------------------------------------------
 
     def _issue_addresses(self, cycle: int) -> None:
@@ -299,12 +353,11 @@ class AxiMasterEngine(Component):
     # -- data movement ---------------------------------------------------
 
     def _supply_write_data(self, cycle: int) -> None:
-        if self._w_gap_countdown > 0:
-            self._w_gap_countdown -= 1
+        if cycle < self._w_gap_until:
             return
         if self._write_data and self.link.w.can_push():
             self.link.w.push(self._write_data.popleft())
-            self._w_gap_countdown = self.w_beat_gap
+            self._w_gap_until = cycle + self.w_beat_gap + 1
 
     def _collect_read_data(self, cycle: int) -> None:
         if not self.link.r.can_pop():
@@ -407,8 +460,9 @@ class AxiMasterEngine(Component):
         self._outstanding_writes.clear()
         self._write_data.clear()
         self._copy_buffer.clear()
-        self._w_gap_countdown = 0
+        self._w_gap_until = 0
         self._ids = IdAllocator(self._ids.capacity.bit_length() - 1)
+        self.sim.wake()
 
     # -- completion --------------------------------------------------------
 

@@ -102,6 +102,7 @@ class TraceReplayMaster(AxiMasterEngine):
     def start(self) -> None:
         """Begin replay at the current cycle."""
         self._start_cycle = self.sim.now
+        self.sim.wake()
 
     @property
     def done(self) -> bool:
@@ -125,3 +126,26 @@ class TraceReplayMaster(AxiMasterEngine):
                     self.enqueue_write(record.address, nbytes,
                                        label="replay")
         super().tick(cycle)
+
+    def _next_release(self) -> "int | None":
+        """Absolute cycle of the next trace-record release, if any."""
+        if self._start_cycle is None or self._cursor >= len(self.trace):
+            return None
+        return self._start_cycle + self.trace[self._cursor].cycle
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """Quiescent between scheduled releases (the release times are
+        fixed offsets from :meth:`start`, so they are exactly known)."""
+        release = self._next_release()
+        if release is not None and release <= cycle:
+            return False
+        return super().is_quiescent(cycle)
+
+    def next_event_cycle(self, cycle: int) -> "int | None":
+        """The next scheduled release is a guaranteed internal event."""
+        hint = super().next_event_cycle(cycle)
+        release = self._next_release()
+        if release is not None and release > cycle:
+            if hint is None or release < hint:
+                return release
+        return hint

@@ -74,6 +74,14 @@ class GreedyTrafficGenerator(AxiMasterEngine):
             self._issue_one()
         super().tick(cycle)
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """Replenishment happens even when the engine is inactive (the
+        tick issues before the ``active`` early-out), so an unfilled
+        pipeline always needs the tick."""
+        if self.enabled and self._inflight < self.depth:
+            return False
+        return super().is_quiescent(cycle)
+
     def reset(self) -> None:
         super().reset()
         self._inflight = 0
@@ -114,6 +122,21 @@ class PeriodicTrafficGenerator(AxiMasterEngine):
                 self.enqueue_write(self.address, self.job_bytes,
                                    label="periodic")
         super().tick(cycle)
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """Never skip a period boundary: a release happens there even if
+        the engine itself has nothing in flight."""
+        if cycle % self.period == 0:
+            return False
+        return super().is_quiescent(cycle)
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """The next period boundary is a guaranteed internal event."""
+        next_release = cycle + self.period - (cycle % self.period)
+        hint = super().next_event_cycle(cycle)
+        if hint is not None and hint < next_release:
+            return hint
+        return next_release
 
     @property
     def miss_ratio(self) -> float:
@@ -165,6 +188,11 @@ class RandomTrafficGenerator(AxiMasterEngine):
         if self._rng.random() < self.arrival_probability:
             self._random_job()
         super().tick(cycle)
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """Never quiescent: every tick draws from the RNG stream, and
+        skipping a draw would change every subsequent arrival."""
+        return False
 
 
 def mixed_fleet(sim, links: List, seed: int = 7) -> List[AxiMasterEngine]:

@@ -181,6 +181,49 @@ class MemorySubsystem(Component):
                 __, resp = self._pending_b.pop(0)
                 self.link.b.push(resp)
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """True when no tick step could act: nothing to ingest, no command
+        to pick, the current command still in its access-latency window (or
+        blocked on backpressure/missing write data), and no due response.
+
+        Mirrors :meth:`tick` step by step; the W-ingest check also covers
+        the write-advance case because a W beat poppable this cycle makes
+        the component non-quiescent before ``_advance`` is considered.
+        """
+        link = self.link
+        if (len(self._commands) < self.command_depth
+                and (link.ar.can_pop() or link.aw.can_pop())):
+            return False
+        if link.w.can_pop():
+            return False
+        command = self._current
+        if command is None:
+            if self._commands:
+                return False
+        elif cycle >= command.data_start:
+            if command.is_read:
+                if link.r.can_push():
+                    return False
+            elif self._write_beats:
+                return False
+        if (self._pending_b and self._pending_b[0][0] <= cycle
+                and link.b.can_push()):
+            return False
+        return True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Access-latency expiry and due write responses are the internal
+        timers that can wake an otherwise frozen memory model."""
+        horizon: Optional[int] = None
+        command = self._current
+        if command is not None and cycle < command.data_start:
+            horizon = command.data_start
+        if self._pending_b:
+            due = self._pending_b[0][0]
+            if due > cycle and (horizon is None or due < horizon):
+                horizon = due
+        return horizon
+
     # ------------------------------------------------------------------
 
     def _take_next_command(self, cycle: int) -> _Command:

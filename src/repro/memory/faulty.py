@@ -53,6 +53,13 @@ class FaultInjectingMemory(MemorySubsystem):
         self.errors_injected = 0
         self.stalls_injected = 0
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """Never quiescent: the fault injector draws from its RNG stream
+        in states the base model treats as idle (e.g. while a read is
+        backpressured), so any skipped tick would change the sequence of
+        injected faults."""
+        return False
+
     # ------------------------------------------------------------------
 
     def _fault_applies(self, address: int) -> bool:

@@ -41,6 +41,13 @@ class AxiPipe(Component):
             if source.can_pop() and destination.can_push():
                 destination.push(source.pop())
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """A pipe is stateless: it only acts when some pair can forward."""
+        for source, destination in self._forward:
+            if source.can_pop() and destination.can_push():
+                return False
+        return True
+
 
 class FpgaPsPort(AxiPipe):
     """The FPGA-PS slave interface of the SoC.

@@ -73,6 +73,12 @@ class PsQosRegulator(AxiPipe):
             return False
         return True
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """Never quiescent: the token-bucket countdown decrements every
+        cycle, so no tick is a no-op (unlike the base pipe's stateless
+        forwarding)."""
+        return False
+
     def _account_forward(self) -> None:
         self._outstanding += 1
         self.forwarded_transactions += 1

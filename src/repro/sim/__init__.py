@@ -15,7 +15,7 @@ from .errors import (
     SimulationError,
 )
 from .kernel import Simulator
-from .stats import Histogram, OnlineStats, RateCounter
+from .stats import Histogram, KernelSkipStats, OnlineStats, RateCounter
 from .trace import TraceEvent, Tracer
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Histogram",
+    "KernelSkipStats",
     "OnlineStats",
     "RateCounter",
     "TraceEvent",

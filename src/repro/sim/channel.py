@@ -62,6 +62,7 @@ class Channel:
         "_queue",
         "_staged",
         "_popped_this_cycle",
+        "_dirty",
         "pushed_total",
         "popped_total",
         "_push_listeners",
@@ -87,6 +88,11 @@ class Channel:
         self._staged: List[Any] = []
         #: items popped this cycle (their slot frees only at commit)
         self._popped_this_cycle = 0
+        #: activity flag: True while the channel has uncommitted work
+        #: (staged pushes or pop accounting) and is queued for commit.
+        #: Committing a clean channel is provably a no-op, so the kernel
+        #: only visits dirty ones.
+        self._dirty = False
         self.pushed_total = 0
         self.popped_total = 0
         #: observation hooks: callables ``fn(cycle, item)`` invoked on
@@ -133,6 +139,9 @@ class Channel:
                 f"(capacity={self.capacity}) at cycle {self._sim.now}")
         self._staged.append(item)
         self.pushed_total += 1
+        if not self._dirty:
+            self._dirty = True
+            self._sim._mark_dirty(self)
         if self._push_listeners:
             now = self._sim.now
             for callback in self._push_listeners:
@@ -163,6 +172,9 @@ class Channel:
         __, item = self._queue.popleft()
         self._popped_this_cycle += 1
         self.popped_total += 1
+        if not self._dirty:
+            self._dirty = True
+            self._sim._mark_dirty(self)
         if self._pop_listeners:
             now = self._sim.now
             for callback in self._pop_listeners:
@@ -199,6 +211,23 @@ class Channel:
         self._queue.clear()
         self._staged.clear()
         self._popped_this_cycle = 0
+        if not self._dirty:
+            self._dirty = True
+            self._sim._mark_dirty(self)
+
+    def next_wake_cycle(self, cycle: int) -> Optional[int]:
+        """Cycle at which an in-flight item becomes visible, if any.
+
+        Used by the fast kernel to bound bulk skips: a committed item whose
+        ready time lies in the future may un-quiesce its consumer exactly
+        when it becomes poppable.  A head that is already visible cannot
+        wake anyone later by itself, so it contributes no bound.
+        """
+        if self._queue:
+            ready = self._queue[0][0]
+            if ready > cycle:
+                return ready
+        return None
 
     # ------------------------------------------------------------------
     # kernel interface
@@ -212,6 +241,7 @@ class Channel:
                 self._queue.append((ready, item))
             self._staged.clear()
         self._popped_this_cycle = 0
+        self._dirty = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Channel({self.name!r}, latency={self.latency}, "

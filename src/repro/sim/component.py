@@ -32,6 +32,43 @@ class Component:
         """
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # fast-path contract (quiescence)
+    # ------------------------------------------------------------------
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """Return ``True`` iff :meth:`tick` would be a pure no-op this cycle.
+
+        "Pure no-op" is a strict promise: calling ``tick(cycle)`` would not
+        change any component state (including counters, RNG streams, and
+        statistics), would not push to or pop from any channel, and would
+        not raise.  The fast kernel path uses this to skip the call; a wrong
+        ``True`` silently changes simulation results, so implementations
+        must be conservative — when in doubt, return ``False``.
+
+        The hook is re-polled every simulated cycle against the current
+        channel state, so ``True`` only ever skips the *current* cycle; a
+        component cannot strand itself by returning ``True`` once.
+
+        The default is ``False`` (never skip), which keeps every existing
+        component exactly as it was.
+        """
+        return False
+
+    def next_event_cycle(self, cycle: int) -> "int | None":
+        """Earliest future cycle at which this component may act on its own.
+
+        Only consulted when :meth:`is_quiescent` returned ``True`` for
+        ``cycle`` and the whole system is otherwise frozen.  A component
+        with a pending *internal* timer (e.g. a periodic release, a
+        countdown expressed as an absolute cycle) must report it here so
+        the bulk-skip horizon does not jump past it.  ``None`` means "I
+        will only wake because a channel delivers something", which the
+        kernel tracks itself.  Returning an earlier cycle than necessary
+        is always safe (it merely shortens the skip).
+        """
+        return None
+
     def reset(self) -> None:
         """Return the component to its power-on state.
 

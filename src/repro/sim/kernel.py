@@ -6,12 +6,51 @@ single global clock.  Every cycle has two phases:
 1. **Tick phase** — each component's :meth:`~repro.sim.Component.tick` runs.
    Components read the *visible* heads of their input channels (items
    committed in earlier cycles) and stage pushes onto their output channels.
-2. **Commit phase** — every channel commits its staged pushes, time-stamping
-   them ``latency`` cycles into the future, and clears its pop accounting.
+2. **Commit phase** — every channel with uncommitted work commits its staged
+   pushes, time-stamping them ``latency`` cycles into the future, and clears
+   its pop accounting.  (Channels that were neither pushed nor popped this
+   cycle have nothing to commit — visiting them would be a no-op, so the
+   kernel keeps a dirty list and only visits those.)
 
 Because nothing staged in cycle *t* can be observed before ``t + 1``, the
 tick order of components cannot change the outcome — the model is a proper
 synchronous circuit, not an event soup.
+
+Quiescence-aware fast path
+--------------------------
+
+With ``fast=True`` the kernel additionally skips work that provably cannot
+change state, while keeping results bit-identical to the reference path:
+
+* **Tick skipping** — before ticking a component the kernel polls
+  :meth:`~repro.sim.Component.is_quiescent`; a ``True`` answer is a strict
+  promise that ``tick`` would be a pure no-op *this* cycle, so the call is
+  elided.  The poll repeats every simulated cycle against current channel
+  state, so a skipped component is reconsidered as soon as anything changes.
+* **Bulk skipping (frozen horizons)** — when *every* component is quiescent
+  and no channel has uncommitted work, the system state is frozen: no tick
+  ran, so nothing can have mutated.  The only future wake-up sources are
+  in-flight channel items (their ready cycles are known) and component
+  internal timers (reported via
+  :meth:`~repro.sim.Component.next_event_cycle`).  The kernel computes the
+  earliest such cycle once and then advances the clock in bulk up to it,
+  touching nothing.
+
+Determinism is preserved by construction: a frozen horizon is only entered
+when zero ticks ran in the preceding cycle, so there is no state a skipped
+cycle could have observed or changed.  External mutations between kernel
+calls (e.g. enqueueing a DMA job) invalidate the cached horizon because
+every public entry point resets it, every channel push/pop/clear marks the
+channel dirty, and components whose configuration is mutated from outside a
+tick call :meth:`Simulator.wake`.
+
+Contract for ``run_until`` predicates: they are sampled at ``check_every``
+granularity on both paths and must be observational.  Predicates that pop
+channels (e.g. test drains) are still safe — pops mark the channel dirty and
+un-freeze the kernel — but a predicate that silently mutates a component
+attribute without touching a channel must call :meth:`Simulator.wake`.
+
+Per-run skip statistics live in :attr:`Simulator.skip_stats`.
 """
 
 from __future__ import annotations
@@ -21,6 +60,11 @@ from typing import Callable, Dict, List, Optional
 from .channel import Channel
 from .component import Component
 from .errors import SimulationError
+from .stats import KernelSkipStats
+
+#: Horizon value meaning "no wake-up source known" (frozen indefinitely;
+#: callers clamp to their own end-of-run bound).
+_FOREVER = float("inf")
 
 
 class Simulator:
@@ -34,18 +78,35 @@ class Simulator:
         Nominal clock frequency of the modelled clock domain.  The kernel
         itself is unit-less (it counts cycles); the frequency is carried so
         that reports can convert cycle counts to seconds.
+    fast:
+        Enable the quiescence-aware fast path (see module docstring).  The
+        default ``False`` runs the reference path: every component ticks
+        every cycle.  Both paths produce bit-identical results for
+        components honouring the quiescence contract;
+        ``tests/test_kernel_equivalence.py`` enforces this differentially.
     """
 
-    def __init__(self, name: str = "sim", clock_hz: float = 150e6) -> None:
+    def __init__(self, name: str = "sim", clock_hz: float = 150e6,
+                 fast: bool = False) -> None:
         if clock_hz <= 0:
             raise SimulationError("clock_hz must be positive")
         self.name = name
         self.clock_hz = clock_hz
+        self.fast = bool(fast)
         self._cycle = 0
         self._components: List[Component] = []
         self._channels: List[Channel] = []
         self._names: Dict[str, object] = {}
         self._finished = False
+        #: channels with uncommitted work this cycle (no duplicates: a
+        #: channel enqueues itself only on its clean -> dirty transition)
+        self._dirty_channels: List[Channel] = []
+        #: first cycle at which the frozen system may change again; the
+        #: clock can advance to (but not through) it without doing work.
+        #: 0 means "not frozen / unknown".
+        self._quiescent_until: float = 0
+        #: per-run skip accounting for the fast path
+        self.skip_stats = KernelSkipStats()
 
     # ------------------------------------------------------------------
     # registration (called from Component / Channel constructors)
@@ -55,16 +116,33 @@ class Simulator:
         self._check_name(component.name)
         self._components.append(component)
         self._names[component.name] = component
+        self._quiescent_until = 0
 
     def _register_channel(self, channel: Channel) -> None:
         self._check_name(channel.name)
         self._channels.append(channel)
         self._names[channel.name] = channel
+        self._quiescent_until = 0
 
     def _check_name(self, name: str) -> None:
         if name in self._names:
             raise SimulationError(
                 f"duplicate name {name!r} in simulator {self.name!r}")
+
+    def _mark_dirty(self, channel: Channel) -> None:
+        """A channel transitioned clean -> dirty; queue it for commit."""
+        self._dirty_channels.append(channel)
+        self._quiescent_until = 0
+
+    def wake(self) -> None:
+        """Invalidate any cached quiescence horizon.
+
+        Components whose externally-callable API mutates state outside a
+        tick (job enqueues, gate decoupling, configuration writes) call
+        this so the fast path re-polls everything on the next cycle.
+        Calling it spuriously is always safe — it only costs one poll.
+        """
+        self._quiescent_until = 0
 
     # ------------------------------------------------------------------
     # time
@@ -90,19 +168,102 @@ class Simulator:
         if self._finished:
             raise SimulationError(
                 f"simulator {self.name!r} stepped after finish()")
+        self._quiescent_until = 0
+        if self.fast:
+            self._polled_cycle()
+        else:
+            self._reference_cycle()
+
+    def _reference_cycle(self) -> None:
+        """One cycle the long way: tick everything, commit dirty channels."""
         cycle = self._cycle
         for component in self._components:
             component.tick(cycle)
-        for channel in self._channels:
-            channel._commit(cycle)
+        dirty = self._dirty_channels
+        if dirty:
+            for channel in dirty:
+                channel._commit(cycle)
+            dirty.clear()
         self._cycle = cycle + 1
+
+    def _polled_cycle(self) -> None:
+        """One cycle with quiescence polling (fast path).
+
+        Ticks only non-quiescent components; if *nothing* ticked and no
+        channel has uncommitted work, the system is frozen and the cycle
+        at which it may change again is cached in ``_quiescent_until``.
+        """
+        cycle = self._cycle
+        stats = self.skip_stats
+        all_quiescent = True
+        ticks_run = 0
+        ticks_skipped = 0
+        for component in self._components:
+            if component.is_quiescent(cycle):
+                ticks_skipped += 1
+            else:
+                all_quiescent = False
+                component.tick(cycle)
+                ticks_run += 1
+        dirty = self._dirty_channels
+        if dirty:
+            for channel in dirty:
+                channel._commit(cycle)
+            dirty.clear()
+        elif all_quiescent:
+            self._quiescent_until = self._horizon(cycle)
+            stats.horizon_scans += 1
+        stats.ticks_run += ticks_run
+        stats.ticks_skipped += ticks_skipped
+        stats.cycles_polled += 1
+        stats.cycles_total += 1
+        self._cycle = cycle + 1
+
+    def _horizon(self, cycle: int) -> float:
+        """Earliest future cycle at which the frozen system may change.
+
+        Minimum over (a) the ready cycles of in-flight channel items and
+        (b) the internal-timer hints of the (all-quiescent) components.
+        Returns at least ``cycle + 1``; returns ``inf`` when no wake-up
+        source exists (permanently idle until external input).
+        """
+        horizon = _FOREVER
+        for channel in self._channels:
+            wake = channel.next_wake_cycle(cycle)
+            if wake is not None and wake < horizon:
+                horizon = wake
+        for component in self._components:
+            hint = component.next_event_cycle(cycle)
+            if hint is not None and hint < horizon:
+                horizon = hint
+        if horizon <= cycle:
+            # A stale or conservative hint pointing at the present cannot
+            # freeze anything; fall back to single-cycle progress.
+            return cycle + 1
+        return horizon
 
     def run(self, cycles: int) -> None:
         """Run for a fixed number of cycles."""
         if cycles < 0:
             raise SimulationError("cannot run a negative number of cycles")
-        for _ in range(cycles):
-            self.step()
+        if not self.fast:
+            for _ in range(cycles):
+                self.step()
+            return
+        end = self._cycle + cycles
+        self._quiescent_until = 0
+        stats = self.skip_stats
+        while self._cycle < end:
+            if self._finished:
+                raise SimulationError(
+                    f"simulator {self.name!r} stepped after finish()")
+            if self._cycle < self._quiescent_until:
+                jump_to = min(self._quiescent_until, end)
+                stats.cycles_frozen += jump_to - self._cycle
+                stats.cycles_total += jump_to - self._cycle
+                self._cycle = jump_to
+            else:
+                self._polled_cycle()
 
     def run_until(self, predicate: Callable[[], bool],
                   max_cycles: int = 1_000_000,
@@ -111,21 +272,45 @@ class Simulator:
 
         The predicate is evaluated every ``check_every`` cycles (checking
         less often speeds up long simulations whose termination condition is
-        expensive).  Raises :class:`SimulationError` if ``max_cycles`` elapse
-        without the predicate becoming true — silent timeouts hide deadlock
-        bugs, so the failure is loud.
+        expensive).  With ``check_every == 1`` the returned elapsed count is
+        exact: the simulation stops on the first cycle boundary where the
+        predicate holds.  With larger values the stop is quantised — up to
+        ``check_every - 1`` extra cycles may run past the cycle where the
+        predicate first became true, but never past ``max_cycles``.
+
+        Raises :class:`SimulationError` if ``max_cycles`` elapse without the
+        predicate becoming true — silent timeouts hide deadlock bugs, so the
+        failure is loud.
         """
         if check_every < 1:
             raise SimulationError("check_every must be >= 1")
         start = self._cycle
+        self._quiescent_until = 0
+        stats = self.skip_stats
         while not predicate():
             elapsed = self._cycle - start
             if elapsed >= max_cycles:
                 raise SimulationError(
                     f"run_until exceeded {max_cycles} cycles in simulator "
                     f"{self.name!r} (started at cycle {start})")
-            for _ in range(check_every):
-                self.step()
+            stride = min(check_every, max_cycles - elapsed)
+            if self.fast:
+                target = self._cycle + stride
+                while self._cycle < target:
+                    if self._finished:
+                        raise SimulationError(
+                            f"simulator {self.name!r} stepped after "
+                            f"finish()")
+                    if self._cycle < self._quiescent_until:
+                        jump_to = min(self._quiescent_until, target)
+                        stats.cycles_frozen += jump_to - self._cycle
+                        stats.cycles_total += jump_to - self._cycle
+                        self._cycle = jump_to
+                    else:
+                        self._polled_cycle()
+            else:
+                for _ in range(stride):
+                    self.step()
         return self._cycle - start
 
     def finish(self) -> None:
@@ -161,4 +346,5 @@ class Simulator:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Simulator({self.name!r}, cycle={self._cycle}, "
                 f"components={len(self._components)}, "
-                f"channels={len(self._channels)})")
+                f"channels={len(self._channels)}, "
+                f"fast={self.fast})")

@@ -123,6 +123,72 @@ class Histogram:
         return float(self.bins()[-1][0])
 
 
+class KernelSkipStats:
+    """Per-run accounting of the fast kernel path's skipped work.
+
+    The counters describe *simulated* cycles and component ticks:
+
+    * ``cycles_total`` — cycles advanced since the last :meth:`reset`.
+    * ``cycles_polled`` — cycles executed the long way (every component
+      either polled via ``is_quiescent`` or ticked, dirty channels
+      committed).
+    * ``cycles_frozen`` — cycles crossed inside a frozen horizon, where
+      nothing was polled, ticked, or committed at all.
+    * ``ticks_run`` / ``ticks_skipped`` — component ticks executed versus
+      elided during polled cycles.
+    * ``horizon_scans`` — how many times the kernel computed a bulk-skip
+      horizon (each scan walks all channels and quiescent components once).
+
+    ``ticks_skipped`` deliberately excludes frozen cycles; the headline
+    "work avoided" figure is ``work_avoided_fraction`` which folds both in.
+    """
+
+    __slots__ = ("cycles_total", "cycles_polled", "cycles_frozen",
+                 "ticks_run", "ticks_skipped", "horizon_scans")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.cycles_total = 0
+        self.cycles_polled = 0
+        self.cycles_frozen = 0
+        self.ticks_run = 0
+        self.ticks_skipped = 0
+        self.horizon_scans = 0
+
+    @property
+    def work_avoided_fraction(self) -> float:
+        """Fraction of potential component ticks that were not executed."""
+        n_per_cycle = 0
+        if self.cycles_polled:
+            n_per_cycle = ((self.ticks_run + self.ticks_skipped)
+                           / self.cycles_polled)
+        potential = self.ticks_run + self.ticks_skipped \
+            + self.cycles_frozen * n_per_cycle
+        if potential <= 0:
+            return 0.0
+        return 1.0 - self.ticks_run / potential
+
+    def as_dict(self) -> Dict[str, float]:
+        """Counters as a plain dict (for reports and JSON dumps)."""
+        return {
+            "cycles_total": self.cycles_total,
+            "cycles_polled": self.cycles_polled,
+            "cycles_frozen": self.cycles_frozen,
+            "ticks_run": self.ticks_run,
+            "ticks_skipped": self.ticks_skipped,
+            "horizon_scans": self.horizon_scans,
+            "work_avoided_fraction": self.work_avoided_fraction,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"KernelSkipStats(cycles={self.cycles_total}, "
+                f"frozen={self.cycles_frozen}, ticks_run={self.ticks_run}, "
+                f"ticks_skipped={self.ticks_skipped})")
+
+
 class RateCounter:
     """Counts events and converts them to a per-second rate.
 

@@ -8,6 +8,7 @@ attach a tracer to monitors and read exact cycle timestamps back out.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
@@ -25,6 +26,12 @@ class TraceEvent:
     def __str__(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
         return f"[{self.cycle:>10}] {self.source:<24} {self.kind:<16} {extras}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (fields key-sorted for stability)."""
+        return {"cycle": self.cycle, "source": self.source,
+                "kind": self.kind,
+                "fields": dict(sorted(self.fields.items()))}
 
 
 class Tracer:
@@ -86,6 +93,51 @@ class Tracer:
     def dump(self) -> str:
         """All retained events as newline-separated text."""
         return "\n".join(str(event) for event in self._events)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """All retained events as JSON-friendly dicts, in order."""
+        return [event.as_dict() for event in self._events]
+
+    def to_json(self) -> str:
+        """Serialize the retained events as an indented JSON array.
+
+        The output is byte-stable for identical event streams (sorted
+        field keys, fixed indentation), so it can be diffed against a
+        checked-in golden trace.
+        """
+        return json.dumps(self.as_dicts(), indent=2, sort_keys=True)
+
+    def attach_channel(self, channel, source: str,
+                       on: Iterable[str] = ("push", "pop")) -> None:
+        """Record every push and/or pop of ``channel`` as an event.
+
+        Purely observational: subscribing never perturbs the traffic, so
+        traces taken through this helper are identical whichever kernel
+        path (reference or fast) produced them.
+        """
+        def _describe(item) -> Dict[str, Any]:
+            fields: Dict[str, Any] = {}
+            for attr in ("address", "length", "txn_id", "last"):
+                value = getattr(item, attr, None)
+                if value is not None:
+                    fields[attr] = value
+            resp = getattr(item, "resp", None)
+            if resp is not None:
+                fields["resp"] = getattr(resp, "name", str(resp))
+            return fields
+
+        for action in on:
+            if action == "push":
+                channel.subscribe_push(
+                    lambda cycle, item: self.record(
+                        cycle, source, "push", **_describe(item)))
+            elif action == "pop":
+                channel.subscribe_pop(
+                    lambda cycle, item: self.record(
+                        cycle, source, "pop", **_describe(item)))
+            else:
+                raise ValueError(
+                    f"attach_channel actions are 'push'/'pop', got {action!r}")
 
     def __len__(self) -> int:
         return len(self._events)

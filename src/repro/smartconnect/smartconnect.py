@@ -153,6 +153,37 @@ class SmartConnect(Component):
         self._route_read_data()
         self._route_write_responses()
 
+    def is_quiescent(self, cycle: int) -> bool:
+        """Mirrors :meth:`tick`, including one subtlety: an arbitration
+        attempt that finds *no* requester still clears the held-grant
+        state (``_pick`` returns ``(None, None, 0)``), so a cycle with a
+        pushable master address channel and a live holder/streak is a
+        state change and must not be skipped.
+        """
+        master = self.master_link
+        if master.ar.can_push():
+            if self._hold_ar is not None or self._streak_ar != 0:
+                return False
+            for link in self.ports:
+                if link.ar.can_pop():
+                    return False
+        if master.aw.can_push():
+            if self._hold_aw is not None or self._streak_aw != 0:
+                return False
+            for link in self.ports:
+                if link.aw.can_pop():
+                    return False
+        if (self._route_w and master.w.can_push()
+                and self.ports[self._route_w[0][0]].w.can_pop()):
+            return False
+        if (self._route_r and master.r.can_pop()
+                and self.ports[self._route_r[0][0]].r.can_push()):
+            return False
+        if (self._route_b and master.b.can_pop()
+                and self.ports[self._route_b[0]].b.can_push()):
+            return False
+        return True
+
     # ------------------------------------------------------------------
     # data-path routing (no equalization: bursts pass through unmodified)
     # ------------------------------------------------------------------

@@ -63,7 +63,7 @@ class SocSystem:
               interconnect: str = "hyperconnect", n_ports: int = 2,
               period: int = 65536, with_store: bool = False,
               max_granularity: Optional[int] = None,
-              name: str = "soc") -> "SocSystem":
+              name: str = "soc", fast: bool = False) -> "SocSystem":
         """Assemble a system.
 
         Parameters
@@ -83,8 +83,11 @@ class SocSystem:
             experiments verify data contents).
         max_granularity:
             Override the SmartConnect's variable round-robin granularity.
+        fast:
+            Enable the simulator's quiescence-aware fast path (same
+            results, fewer Python-level ticks; see ``repro.sim.kernel``).
         """
-        sim = Simulator(name, clock_hz=platform.pl_clock_hz)
+        sim = Simulator(name, clock_hz=platform.pl_clock_hz, fast=fast)
         store = MemoryStore() if with_store else None
         if interconnect == "hyperconnect":
             master = AxiLink(sim, f"{name}.m",

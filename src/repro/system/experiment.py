@@ -55,8 +55,8 @@ class ChannelLatencies:
 
 
 def measure_channel_latencies(interconnect: str,
-                              platform: Platform = ZCU102
-                              ) -> ChannelLatencies:
+                              platform: Platform = ZCU102,
+                              fast: bool = False) -> ChannelLatencies:
     """Fig. 3(a) procedure: per-channel propagation in isolation.
 
     One DMA issues a read and a write; probes time each beat from its
@@ -65,7 +65,8 @@ def measure_channel_latencies(interconnect: str,
     with spaced-out beats so the interconnect pipeline is observed
     without producer-side queueing (see the engine's ``w_beat_gap``).
     """
-    soc = SocSystem.build(platform, interconnect=interconnect, n_ports=2)
+    soc = SocSystem.build(platform, interconnect=interconnect, n_ports=2,
+                          fast=fast)
     probes = {
         "AR": PropagationProbe(soc.port(0).ar, soc.master_link.ar),
         "AW": PropagationProbe(soc.port(0).aw, soc.master_link.aw),
@@ -87,7 +88,8 @@ def measure_channel_latencies(interconnect: str,
 
 
 def measure_access_time(interconnect: str, nbytes: int,
-                        platform: Platform = ZCU102) -> int:
+                        platform: Platform = ZCU102,
+                        fast: bool = False) -> int:
     """Fig. 3(b) procedure: memory access time for one transfer size.
 
     A single DMA reads ``nbytes`` through an otherwise idle system; the
@@ -95,7 +97,8 @@ def measure_access_time(interconnect: str, nbytes: int,
     paper's "maximum memory access time" — max equals the single
     measurement here because the system is deterministic in isolation).
     """
-    soc = SocSystem.build(platform, interconnect=interconnect, n_ports=2)
+    soc = SocSystem.build(platform, interconnect=interconnect, n_ports=2,
+                          fast=fast)
     dma = AxiDma(soc.sim, "dma", soc.port(0))
     job = dma.enqueue_read(0x1000_0000, nbytes)
     soc.run_until_quiescent(max_cycles=50_000_000)
@@ -122,7 +125,8 @@ def run_case_study(interconnect: str,
                    window_cycles: int = 400_000,
                    platform: Platform = ZCU102,
                    period: int = 2048,
-                   dma_burst_len: int = 64) -> CaseStudyResult:
+                   dma_burst_len: int = 64,
+                   fast: bool = False) -> CaseStudyResult:
     """Sections VI-C procedure: CHaiDNN (port 0) + greedy DMA (port 1).
 
     ``shares`` maps port index to a reserved bandwidth fraction (the
@@ -137,7 +141,7 @@ def run_case_study(interconnect: str,
     simulation windows short enough for repeated benchmarking.
     """
     soc = SocSystem.build(platform, interconnect=interconnect, n_ports=2,
-                          period=period)
+                          period=period, fast=fast)
     chaidnn = None
     dma = None
     if run_chaidnn:

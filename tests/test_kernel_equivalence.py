@@ -1,0 +1,298 @@
+"""Differential harness: the fast kernel path must equal the reference.
+
+The quiescence-aware fast path (``Simulator(fast=True)``) ships only
+because this harness proves it observationally equivalent to the
+reference path on every system shape the repo models: the Fig. 3(a)
+channel-latency and Fig. 3(b) access-time procedures, the Fig. 4/5 case
+study, its ablation configurations, misbehaving-HA and fault-injection
+scenarios, and seeded random traffic.  Each scenario is run twice —
+``fast=False`` then ``fast=True`` — and everything observable is
+compared: elapsed cycle counts, per-engine traffic fingerprints,
+interconnect and memory counters, monitor latencies, trace events, and
+final memory contents.
+
+If one of these tests fails after a component change, the component's
+``is_quiescent`` is lying (claiming a tick is a no-op when it is not):
+fix the hook, never the harness.
+"""
+
+import pytest
+
+from repro.axi import PropagationProbe
+from repro.masters import (
+    AxiDma,
+    ChaiDnnAccelerator,
+    DmaDescriptor,
+    GreedyTrafficGenerator,
+    RandomTrafficGenerator,
+)
+from repro.memory import FaultInjectingMemory
+from repro.platforms import ZCU102
+from repro.sim import Tracer
+from repro.system import SocSystem
+from repro.system.experiment import (
+    measure_access_time,
+    measure_channel_latencies,
+    run_case_study,
+)
+
+INTERCONNECTS = ("hyperconnect", "smartconnect")
+
+
+def _signature(*engines):
+    """Order-insensitive fingerprint of what every engine experienced."""
+    return tuple(
+        (engine.name, engine.bytes_read, engine.bytes_written,
+         len(engine.jobs_completed),
+         engine.read_latency.count, engine.read_latency.mean,
+         engine.write_latency.count, engine.write_latency.mean)
+        for engine in engines)
+
+
+def _memory_counters(memory):
+    return (memory.reads_served, memory.writes_served, memory.beats_served)
+
+
+def _interconnect_counters(soc):
+    fabric = soc.interconnect
+    counters = [getattr(fabric, "grants_ar", None),
+                getattr(fabric, "grants_aw", None)]
+    for supervisor in getattr(fabric, "supervisors", ()):
+        counters.append((supervisor.config.issued_read,
+                         supervisor.config.issued_write,
+                         supervisor.stalled_on_budget,
+                         supervisor.splits_performed))
+    return tuple(counters)
+
+
+def _both(run):
+    """Run a scenario on both kernel paths and return the two results."""
+    return run(fast=False), run(fast=True)
+
+
+class TestFigureProcedures:
+    """The paper's measurement procedures, fast vs. reference."""
+
+    @pytest.mark.parametrize("interconnect", INTERCONNECTS)
+    def test_fig3a_channel_latencies(self, interconnect):
+        reference, fast = _both(
+            lambda fast: measure_channel_latencies(interconnect, fast=fast))
+        assert reference == fast
+
+    @pytest.mark.parametrize("interconnect", INTERCONNECTS)
+    @pytest.mark.parametrize("nbytes", (16, 4096, 65536))
+    def test_fig3b_access_time(self, interconnect, nbytes):
+        reference, fast = _both(
+            lambda fast: measure_access_time(interconnect, nbytes,
+                                             fast=fast))
+        assert reference == fast
+
+    @pytest.mark.parametrize("interconnect", INTERCONNECTS)
+    def test_fig4_5_case_study(self, interconnect):
+        reference, fast = _both(
+            lambda fast: run_case_study(interconnect, scale=1 / 256,
+                                        window_cycles=60_000, fast=fast))
+        assert reference == fast
+
+    @pytest.mark.parametrize("shares", (
+        {0: 0.9, 1: 0.1},
+        {0: 0.5, 1: 0.5},
+        {0: 0.2, 1: 0.8},
+    ), ids=("hc-90-10", "hc-50-50", "hc-20-80"))
+    def test_ablation_bandwidth_shares(self, shares):
+        reference, fast = _both(
+            lambda fast: run_case_study("hyperconnect", shares=shares,
+                                        scale=1 / 256,
+                                        window_cycles=60_000, fast=fast))
+        assert reference == fast
+
+    def test_ablation_solo_workloads(self):
+        for kwargs in ({"run_dma": False}, {"run_chaidnn": False}):
+            reference, fast = _both(
+                lambda fast: run_case_study("hyperconnect", scale=1 / 256,
+                                            window_cycles=40_000,
+                                            fast=fast, **kwargs))
+            assert reference == fast
+
+
+class TestContentionScenarios:
+    """Full-system contention, down to per-engine fingerprints."""
+
+    @pytest.mark.parametrize("interconnect", INTERCONNECTS)
+    def test_two_greedy_masters(self, interconnect):
+        def run(fast):
+            soc = SocSystem.build(ZCU102, interconnect=interconnect,
+                                  n_ports=2, period=2048, fast=fast)
+            a = GreedyTrafficGenerator(soc.sim, "a", soc.port(0),
+                                       job_bytes=8192, depth=3)
+            b = GreedyTrafficGenerator(soc.sim, "b", soc.port(1),
+                                       job_bytes=4096, burst_len=64,
+                                       depth=2)
+            soc.sim.run(50_000)
+            return (_signature(a, b), _memory_counters(soc.memory),
+                    _interconnect_counters(soc), soc.sim.now)
+
+        reference, fast = _both(run)
+        assert reference == fast
+
+    def test_misbehaving_ha_decoupled_mid_run(self):
+        """Hypervisor-style intervention: decouple the misbehaving HA's
+        port mid-run, let the victim recover, then recouple."""
+
+        def run(fast):
+            soc = SocSystem.build(ZCU102, n_ports=2, period=2048,
+                                  fast=fast)
+            victim = AxiDma(soc.sim, "victim", soc.port(0))
+            rogue = GreedyTrafficGenerator(soc.sim, "rogue", soc.port(1),
+                                           job_bytes=16384, burst_len=64,
+                                           depth=4)
+            victim.program(
+                [DmaDescriptor("read", 0x1000_0000, 4096)], repeat=True)
+            victim.start()
+            soc.sim.run(10_000)
+            soc.driver.decouple(1)
+            soc.sim.run(10_000)
+            soc.driver.couple(1)
+            soc.sim.run(10_000)
+            return (_signature(victim, rogue),
+                    _memory_counters(soc.memory),
+                    _interconnect_counters(soc), soc.sim.now)
+
+        reference, fast = _both(run)
+        assert reference == fast
+
+    def test_seeded_random_traffic(self):
+        def run(fast):
+            soc = SocSystem.build(ZCU102, n_ports=2, fast=fast)
+            gen = RandomTrafficGenerator(soc.sim, "rand", soc.port(0),
+                                         arrival_probability=0.03,
+                                         seed=99)
+            dma = AxiDma(soc.sim, "dma", soc.port(1))
+            dma.enqueue_read(0x0, 16384)
+            soc.sim.run(30_000)
+            return (_signature(gen, dma), _memory_counters(soc.memory),
+                    soc.sim.now)
+
+        reference, fast = _both(run)
+        assert reference == fast
+
+    def test_fault_injection(self):
+        def run(fast):
+            from repro.axi.port import AxiLink
+            from repro.hyperconnect import HyperConnect
+            from repro.sim import Simulator
+
+            sim = Simulator("faulty", clock_hz=ZCU102.pl_clock_hz,
+                            fast=fast)
+            master = AxiLink(sim, "m", data_bytes=16)
+            hc = HyperConnect(sim, "hc", 2, master)
+            memory = FaultInjectingMemory(sim, "mem", master,
+                                          timing=ZCU102.dram,
+                                          error_rate=0.05,
+                                          stall_rate=0.02,
+                                          stall_cycles=15, seed=7)
+            responses = []
+            hc.port(0).r.subscribe_push(
+                lambda cycle, beat: responses.append((cycle, beat.resp)))
+            dma = AxiDma(sim, "dma", hc.port(0))
+            jobs = [dma.enqueue_read(i * 4096, 2048) for i in range(4)]
+            sim.run_until(lambda: all(j.completed for j in jobs),
+                          max_cycles=100_000)
+            return (_signature(dma), memory.errors_injected,
+                    memory.stalls_injected, tuple(responses), sim.now)
+
+        reference, fast = _both(run)
+        assert reference == fast
+
+
+class TestObservables:
+    """Monitors, traces, and memory contents across the two paths."""
+
+    def test_probe_latencies_match(self):
+        def run(fast):
+            soc = SocSystem.build(ZCU102, n_ports=2, fast=fast)
+            probe_ar = PropagationProbe(soc.port(0).ar, soc.master_link.ar)
+            probe_r = PropagationProbe(soc.master_link.r, soc.port(0).r)
+            dma = AxiDma(soc.sim, "dma", soc.port(0))
+            dma.enqueue_read(0x1000_0000, 8192)
+            elapsed = soc.run_until_quiescent()
+            return ((probe_ar.stats.count, probe_ar.latency_max,
+                     probe_ar.latency_mean),
+                    (probe_r.stats.count, probe_r.latency_max,
+                     probe_r.latency_mean), elapsed)
+
+        reference, fast = _both(run)
+        assert reference == fast
+
+    def test_trace_events_match(self):
+        def run(fast):
+            soc = SocSystem.build(ZCU102, n_ports=2, fast=fast)
+            tracer = Tracer(limit=None)
+            tracer.attach_channel(soc.port(0).ar, "p0.AR")
+            tracer.attach_channel(soc.master_link.ar, "m.AR")
+            tracer.attach_channel(soc.port(0).r, "p0.R", on=("pop",))
+            dma = AxiDma(soc.sim, "dma", soc.port(0))
+            dma.enqueue_read(0x1000_0000, 1024)
+            dma.enqueue_write(0x2000_0000, 1024)
+            soc.run_until_quiescent()
+            return tracer.as_dicts()
+
+        reference, fast = _both(run)
+        assert reference == fast
+        assert reference  # the run must actually have produced events
+
+    def test_final_memory_contents_match(self):
+        def run(fast):
+            soc = SocSystem.build(ZCU102, n_ports=2, with_store=True,
+                                  fast=fast)
+            soc.store.fill_pattern(0x1000_0000, 4096, seed=5)
+            dma = AxiDma(soc.sim, "dma", soc.port(0))
+            dma.enqueue_copy(0x1000_0000, 0x2000_0000, 4096)
+            soc.run_until_quiescent()
+            return soc.store.read(0x2000_0000, 4096)
+
+        reference, fast = _both(run)
+        assert reference == fast
+        # and the copy itself must have happened: the destination holds
+        # the same pattern a fresh store generates at the source
+        from repro.memory import MemoryStore
+        expected = MemoryStore()
+        expected.fill_pattern(0x1000_0000, 4096, seed=5)
+        assert reference == expected.read(0x1000_0000, 4096)
+
+    def test_chaidnn_frame_timeline_matches(self):
+        def run(fast):
+            soc = SocSystem.build(ZCU102, n_ports=2, fast=fast)
+            dnn = ChaiDnnAccelerator(soc.sim, "dnn", soc.port(0),
+                                     scale=1 / 256)
+            dnn.start()
+            soc.sim.run(80_000)
+            return (dnn.frames_completed, _signature(dnn), soc.sim.now)
+
+        reference, fast = _both(run)
+        assert reference == fast
+
+
+class TestFastPathActuallySkips:
+    """The equivalence results above are meaningful only if the fast
+    path really does skip work on these workloads."""
+
+    def test_latency_dominated_run_freezes(self):
+        soc = SocSystem.build(ZCU102, n_ports=2, fast=True)
+        dma = AxiDma(soc.sim, "dma", soc.port(0))
+        dma.enqueue_read(0x1000_0000, 16)       # single-beat word read
+        soc.run_until_quiescent()
+        stats = soc.sim.skip_stats
+        assert stats.ticks_skipped > 0
+        assert stats.cycles_frozen > 0
+        assert stats.cycles_total == stats.cycles_polled + stats.cycles_frozen
+        assert 0.0 < stats.work_avoided_fraction <= 1.0
+
+    def test_reference_path_records_no_skips(self):
+        soc = SocSystem.build(ZCU102, n_ports=2, fast=False)
+        dma = AxiDma(soc.sim, "dma", soc.port(0))
+        dma.enqueue_read(0x1000_0000, 16)
+        soc.run_until_quiescent()
+        stats = soc.sim.skip_stats
+        assert stats.ticks_skipped == 0
+        assert stats.cycles_frozen == 0

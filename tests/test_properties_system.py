@@ -9,6 +9,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.axi.burst import crosses_4kb, legalize, split_burst
 from repro.masters import AxiDma, AxiMasterEngine
 from repro.platforms import ZCU102
 from repro.system import SocSystem
@@ -90,6 +91,93 @@ class TestEqualizationInvariant:
         assert seen
         assert all(length <= nominal for length in seen)
         assert sum(seen) == 256  # 4 KiB / 16 B
+
+
+class TestBurstEqualizationProperties:
+    """Split + merge must be a lossless, order- and legality-preserving
+    transformation for *any* burst geometry (the paper's equalization
+    mechanism, built on the pure helpers in ``axi/burst.py``)."""
+
+    FAST = settings(max_examples=200, deadline=None)
+
+    @FAST
+    @given(size_bytes=st.sampled_from([4, 8, 16]),
+           length=st.integers(min_value=1, max_value=256),
+           nominal=st.integers(min_value=1, max_value=64),
+           page=st.integers(min_value=0, max_value=1023),
+           data=st.data())
+    def test_split_burst_is_lossless(self, size_bytes, length, nominal,
+                                     page, data):
+        # place the burst anywhere inside one 4 KiB page so it is legal
+        beats_per_page = 4096 // size_bytes
+        if length > beats_per_page:
+            length = beats_per_page
+        start_beat = data.draw(st.integers(
+            min_value=0, max_value=beats_per_page - length))
+        address = page * 4096 + start_beat * size_bytes
+        assert not crosses_4kb(address, length, size_bytes)
+
+        pieces = split_burst(address, length, size_bytes, nominal)
+        # total beats preserved
+        assert sum(beats for _, beats in pieces) == length
+        # every piece respects the nominal bound
+        assert all(1 <= beats <= nominal for _, beats in pieces)
+        # address order: contiguous, strictly ascending coverage
+        cursor = address
+        for sub_address, beats in pieces:
+            assert sub_address == cursor
+            cursor += beats * size_bytes
+        # sub-bursts of a legal burst stay 4 KiB-legal
+        assert all(not crosses_4kb(sub_address, beats, size_bytes)
+                   for sub_address, beats in pieces)
+
+    @FAST
+    @given(size_bytes=st.sampled_from([4, 8, 16]),
+           total_beats=st.integers(min_value=1, max_value=2048),
+           address=st.integers(min_value=0, max_value=1 << 20))
+    def test_legalize_never_crosses_4kb(self, size_bytes, total_beats,
+                                        address):
+        address = (address // size_bytes) * size_bytes   # beat-aligned
+        bursts = legalize(address, total_beats, size_bytes)
+        assert sum(beats for _, beats in bursts) == total_beats
+        cursor = address
+        for sub_address, beats in bursts:
+            assert sub_address == cursor
+            assert not crosses_4kb(sub_address, beats, size_bytes)
+            cursor += beats * size_bytes
+
+    @SLOW
+    @given(burst_len=st.sampled_from([1, 3, 16, 64, 256]),
+           nominal=st.sampled_from([1, 4, 8, 32]),
+           pages=st.integers(min_value=1, max_value=4))
+    def test_supervisor_split_merge_round_trip(self, burst_len, nominal,
+                                               pages):
+        """End-to-end through the Transaction Supervisor: the master-side
+        sub-burst stream must cover exactly the requested range, in
+        order, within the nominal bound and the 4 KiB rule — and the
+        merge side must still complete the original job as one unit."""
+        soc = SocSystem.build(ZCU102, n_ports=2)
+        soc.driver.set_nominal_burst(0, nominal)
+        observed = []
+        soc.master_link.ar.subscribe_push(
+            lambda cycle, beat: observed.append((beat.address, beat.length)))
+        dma = AxiDma(soc.sim, "dma", soc.port(0), burst_len=burst_len)
+        nbytes = pages * 4096
+        job = dma.enqueue_read(0x1000_0000, nbytes)
+        soc.run_until_quiescent(max_cycles=2_000_000)
+        beat_bytes = soc.master_link.data_bytes
+        # lossless: the sub-bursts tile the requested range contiguously
+        assert sum(beats for _, beats in observed) == nbytes // beat_bytes
+        cursor = 0x1000_0000
+        for sub_address, beats in observed:
+            assert sub_address == cursor
+            assert beats <= nominal
+            assert not crosses_4kb(sub_address, beats, beat_bytes)
+            cursor += beats * beat_bytes
+        # merge preserved: exactly one completion for the one request
+        assert job.completed is not None
+        assert len(dma.jobs_completed) == 1
+        assert dma.bytes_read == nbytes
 
 
 class TestBudgetInvariant:

@@ -103,11 +103,171 @@ class TestExecution:
         # predicate only checked every 4 cycles, so we overshoot to 12
         assert sim.now == 12
 
+    def test_run_until_never_overshoots_max_cycles(self):
+        # regression: with check_every > 1 the kernel used to run whole
+        # strides past max_cycles before noticing the timeout
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run_until(lambda: False, max_cycles=10, check_every=4)
+        assert sim.now == 10
+
+    def test_run_until_exact_for_check_every_one(self):
+        sim = Simulator()
+        elapsed = sim.run_until(lambda: sim.now >= 13, check_every=1)
+        assert elapsed == 13 and sim.now == 13
+
+    def test_run_until_quantisation_bounded(self):
+        # overshoot past the predicate is bounded by check_every - 1
+        sim = Simulator()
+        elapsed = sim.run_until(lambda: sim.now >= 10, check_every=7)
+        assert 10 <= elapsed <= 16
+        assert elapsed % 7 == 0
+
+    def test_run_until_rejects_bad_check_every(self):
+        with pytest.raises(SimulationError):
+            Simulator().run_until(lambda: True, check_every=0)
+
     def test_finish_blocks_further_steps(self):
         sim = Simulator()
         sim.finish()
         with pytest.raises(SimulationError):
             sim.step()
+
+
+class PulseSource(Component):
+    """Pushes one item at each scheduled cycle; quiescent in between."""
+
+    def __init__(self, sim, name, channel, schedule):
+        super().__init__(sim, name)
+        self.channel = channel
+        self.schedule = sorted(schedule)
+        self._index = 0
+
+    def _due(self, cycle):
+        return (self._index < len(self.schedule)
+                and cycle >= self.schedule[self._index])
+
+    def tick(self, cycle):
+        if self._due(cycle) and self.channel.can_push():
+            self.channel.push(cycle)
+            self._index += 1
+
+    def is_quiescent(self, cycle):
+        return not self._due(cycle)
+
+    def next_event_cycle(self, cycle):
+        if self._index < len(self.schedule):
+            return self.schedule[self._index]
+        return None
+
+
+class QuiescentConsumer(Consumer):
+    """A consumer that declares itself idle when nothing is visible."""
+
+    def is_quiescent(self, cycle):
+        return not self.channel.can_pop()
+
+
+class TestFastPath:
+    """Unit-level checks of the quiescence-aware kernel."""
+
+    SCHEDULE = (3, 4, 200, 1000, 1001)
+
+    def build(self, fast):
+        sim = Simulator("fp", fast=fast)
+        channel = Channel(sim, "ch", latency=2, capacity=4)
+        source = PulseSource(sim, "src", channel, self.SCHEDULE)
+        sink = QuiescentConsumer(sim, "snk", channel)
+        return sim, source, sink
+
+    def test_run_matches_reference(self):
+        outputs = []
+        for fast in (False, True):
+            sim, _, sink = self.build(fast)
+            sim.run(1200)
+            outputs.append((sim.now, sink.received))
+        assert outputs[0] == outputs[1]
+
+    def test_step_matches_reference(self):
+        outputs = []
+        for fast in (False, True):
+            sim, _, sink = self.build(fast)
+            for _ in range(250):
+                sim.step()
+            outputs.append((sim.now, sink.received))
+        assert outputs[0] == outputs[1]
+
+    def test_run_until_matches_reference(self):
+        elapsed = []
+        for fast in (False, True):
+            sim, _, sink = self.build(fast)
+            elapsed.append(sim.run_until(lambda: len(sink.received) >= 4,
+                                         max_cycles=5000))
+        assert elapsed[0] == elapsed[1]
+
+    def test_bulk_skip_happens(self):
+        sim, _, _ = self.build(fast=True)
+        sim.run(1200)
+        stats = sim.skip_stats
+        assert stats.cycles_frozen > 900      # the long idle stretches
+        assert stats.ticks_skipped > 0
+        assert stats.cycles_total == 1200
+        assert stats.cycles_total == stats.cycles_polled + stats.cycles_frozen
+
+    def test_reference_path_ignores_stats(self):
+        sim, _, _ = self.build(fast=False)
+        sim.run(1200)
+        assert sim.skip_stats.cycles_total == 0
+
+    def test_external_push_unfreezes(self):
+        sim = Simulator("wake", fast=True)
+        channel = Channel(sim, "ch", latency=1)
+        sink = QuiescentConsumer(sim, "snk", channel)
+        sim.run(50)                 # system is frozen (nothing scheduled)
+        assert sim.skip_stats.cycles_frozen > 0
+        channel.push(42)            # external mutation marks the channel
+        sim.run(10)
+        assert [v for (_, v) in sink.received] == [42]
+
+    def test_wake_invalidates_silent_mutation(self):
+        class Flagged(Component):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.armed = False
+                self.fired_at = None
+
+            def tick(self, cycle):
+                if self.armed and self.fired_at is None:
+                    self.fired_at = cycle
+
+            def is_quiescent(self, cycle):
+                return not (self.armed and self.fired_at is None)
+
+        sim = Simulator("wake2", fast=True)
+        component = Flagged(sim, "f")
+        sim.run(30)                 # frozen: nothing to do, no horizon
+        component.armed = True      # silent attribute mutation...
+        sim.wake()                  # ...must be advertised to the kernel
+        sim.run(5)
+        assert component.fired_at == 30
+
+    def test_skip_stats_reset_and_dict(self):
+        sim, _, _ = self.build(fast=True)
+        sim.run(1200)
+        stats = sim.skip_stats
+        as_dict = stats.as_dict()
+        assert as_dict["cycles_total"] == 1200
+        assert set(as_dict) >= {"cycles_total", "cycles_polled",
+                                "cycles_frozen", "ticks_run",
+                                "ticks_skipped"}
+        stats.reset()
+        assert stats.cycles_total == 0 and stats.ticks_run == 0
+
+    def test_finish_blocks_fast_run(self):
+        sim, _, _ = self.build(fast=True)
+        sim.finish()
+        with pytest.raises(SimulationError):
+            sim.run(10)
 
 
 class TestRegistry:

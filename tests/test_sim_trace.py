@@ -1,6 +1,25 @@
-"""Unit tests for the event tracer."""
+"""Unit tests for the event tracer, and the golden-trace guard.
 
+The golden-trace test pins the exact event stream (and probe readings) of
+a short Fig. 3(a)-style run to a checked-in JSON file and verifies both
+kernel paths reproduce it byte-for-byte — trace output is a guarded
+interface, not an implementation detail.  Regenerate the golden file
+after an *intentional* timing change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_sim_trace.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.axi import PropagationProbe
+from repro.masters import AxiDma
+from repro.platforms import ZCU102
 from repro.sim import Tracer
+from repro.system import SocSystem
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace_fig3a.json"
 
 
 class TestTracer:
@@ -55,3 +74,85 @@ class TestTracer:
         tracer.record(7, "exbar", "grant", port=3)
         text = tracer.dump()
         assert "exbar" in text and "grant" in text and "port=3" in text
+
+    def test_as_dict_round_trips_through_json(self):
+        tracer = Tracer()
+        tracer.record(7, "exbar", "grant", port=3, resp=None)
+        payload = json.loads(tracer.to_json())
+        assert payload == [{"cycle": 7, "source": "exbar", "kind": "grant",
+                            "fields": {"port": 3, "resp": None}}]
+
+    def test_to_json_is_byte_stable(self):
+        def build():
+            tracer = Tracer()
+            tracer.record(1, "s", "k", b=2, a=1)
+            tracer.record(2, "s", "k", a=1, b=2)
+            return tracer.to_json()
+
+        assert build() == build()
+
+    def test_attach_channel_records_pushes_and_pops(self):
+        from repro.sim import Channel, Simulator
+
+        sim = Simulator("t")
+        channel = Channel(sim, "ch", latency=1)
+        tracer = Tracer()
+        tracer.attach_channel(channel, "ch")
+        channel.push(123)
+        sim.step()
+        channel.pop()
+        kinds = [(e.kind, e.source) for e in tracer.events()]
+        assert kinds == [("push", "ch"), ("pop", "ch")]
+
+    def test_attach_channel_rejects_unknown_action(self):
+        from repro.sim import Channel, Simulator
+        import pytest
+
+        sim = Simulator("t2")
+        channel = Channel(sim, "ch")
+        with pytest.raises(ValueError):
+            Tracer().attach_channel(channel, "ch", on=("peek",))
+
+
+def _capture_fig3a(fast: bool) -> str:
+    """Short Fig. 3(a)-style run: one equalized read + one paced write,
+    with channel tracing and propagation probes attached."""
+    soc = SocSystem.build(ZCU102, n_ports=2, fast=fast)
+    tracer = Tracer(limit=None)
+    tracer.attach_channel(soc.port(0).ar, "p0.AR")
+    tracer.attach_channel(soc.port(0).aw, "p0.AW")
+    tracer.attach_channel(soc.master_link.ar, "m.AR", on=("push",))
+    tracer.attach_channel(soc.port(0).r, "p0.R", on=("pop",))
+    tracer.attach_channel(soc.port(0).b, "p0.B", on=("pop",))
+    probes = {
+        "AR": PropagationProbe(soc.port(0).ar, soc.master_link.ar),
+        "R": PropagationProbe(soc.master_link.r, soc.port(0).r),
+        "B": PropagationProbe(soc.master_link.b, soc.port(0).b),
+    }
+    dma = AxiDma(soc.sim, "dma", soc.port(0), w_beat_gap=16)
+    dma.enqueue_read(0x1000_0000, 16 * ZCU102.hp_data_bytes)
+    dma.enqueue_write(0x2000_0000, 16 * ZCU102.hp_data_bytes)
+    elapsed = soc.run_until_quiescent()
+    snapshot = {
+        "elapsed": elapsed,
+        "events": tracer.as_dicts(),
+        "probes": {name: {"count": probe.stats.count,
+                          "max": probe.latency_max,
+                          "mean": probe.latency_mean}
+                   for name, probe in sorted(probes.items())},
+    }
+    return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+class TestGoldenTrace:
+    def test_both_kernel_paths_match_the_golden_trace(self):
+        reference = _capture_fig3a(fast=False)
+        fast = _capture_fig3a(fast=True)
+        assert reference == fast
+        if os.environ.get("REGEN_GOLDEN"):
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(reference + "\n", encoding="utf-8")
+        golden = GOLDEN_PATH.read_text(encoding="utf-8")
+        assert reference + "\n" == golden
+        # sanity: the run produced real traffic, not an empty trace
+        assert json.loads(reference)["events"]
