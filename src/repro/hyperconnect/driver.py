@@ -23,10 +23,12 @@ from .regs import (
     BUDGET_UNLIMITED,
     PORT_BUDGET,
     PORT_CTRL,
+    PORT_FAULTS,
     PORT_ISSUED_READ,
     PORT_ISSUED_WRITE,
     PORT_MAX_OUTSTANDING,
     PORT_NOMINAL_BURST,
+    PORT_TIMEOUT,
     REG_CTRL,
     REG_N_PORTS,
     REG_PERIOD,
@@ -126,6 +128,32 @@ class HyperConnectDriver:
         if transactions < 0:
             raise ConfigurationError("budget must be >= 0")
         self.regs.write(port_register(port, PORT_BUDGET), transactions)
+
+    def set_watchdog_timeout(self, port: int,
+                             cycles: Optional[int]) -> None:
+        """Arm (or disarm) a port's transaction watchdog.
+
+        ``cycles`` is the maximum age of an outstanding sub-transaction
+        before the port is contained; ``None`` (or 0) disarms the
+        watchdog.  Arming it also arms the ingest-time protocol guard.
+        """
+        self._check_port(port)
+        if cycles is None:
+            cycles = 0
+        if cycles < 0:
+            raise ConfigurationError("watchdog timeout must be >= 0")
+        self.regs.write(port_register(port, PORT_TIMEOUT), cycles)
+
+    def watchdog_timeout(self, port: int) -> Optional[int]:
+        """The port's watchdog timeout (``None`` = disarmed)."""
+        self._check_port(port)
+        value = self.regs.read(port_register(port, PORT_TIMEOUT))
+        return None if value == 0 else value
+
+    def faults(self, port: int) -> int:
+        """Containment entries (watchdog + protocol trips) of a port."""
+        self._check_port(port)
+        return self.regs.read(port_register(port, PORT_FAULTS))
 
     def issued(self, port: int) -> Dict[str, int]:
         """Live issue counters of a port."""

@@ -36,11 +36,13 @@ from .regs import (
     PORT_BASE,
     PORT_BUDGET,
     PORT_CTRL,
+    PORT_FAULTS,
     PORT_ISSUED_READ,
     PORT_ISSUED_WRITE,
     PORT_MAX_OUTSTANDING,
     PORT_NOMINAL_BURST,
     PORT_STRIDE,
+    PORT_TIMEOUT,
     REG_CTRL,
     REG_PERIOD,
     ControlSlave,
@@ -159,6 +161,14 @@ class HyperConnect:
             self.regs.provide(
                 port_register(i, PORT_ISSUED_WRITE),
                 (lambda cfg=self.configs[i]: cfg.issued_write))
+            # live gate state: a hardware-initiated decouple (watchdog
+            # containment) must be visible through PORT_CTRL reads
+            self.regs.provide(
+                port_register(i, PORT_CTRL),
+                (lambda link=self.ports[i]: 1 if link.coupled else 0))
+            self.regs.provide(
+                port_register(i, PORT_FAULTS),
+                (lambda ts=self.supervisors[i]: ts.fault_stats.trips))
         self.control_slave: Optional[ControlSlave] = None
 
     # ------------------------------------------------------------------
@@ -197,6 +207,10 @@ class HyperConnect:
             # recharge; an *unlimited* setting applies immediately
             if config.budget is None:
                 self.supervisors[port].budget_remaining = None
+        elif field_offset == PORT_TIMEOUT:
+            # 0 disarms the watchdog; pending deadlines re-time from the
+            # stored issue cycles on the very next poll
+            config.timeout_cycles = None if value == 0 else value
 
     # ------------------------------------------------------------------
 

@@ -21,6 +21,9 @@ Register map (32-bit registers, byte offsets)::
                               period; 0xFFFFFFFF = unlimited
       +0x10  ISSUED_READ      read-only: sub-reads issued (wraps at 2^32)
       +0x14  ISSUED_WRITE     read-only: sub-writes issued
+      +0x18  TIMEOUT          watchdog timeout in cycles; 0 = disabled
+      +0x1C  FAULTS           read-only: containment entries (watchdog
+                              and protocol trips) since reset
 """
 
 from __future__ import annotations
@@ -48,6 +51,8 @@ PORT_MAX_OUTSTANDING = 0x08
 PORT_BUDGET = 0x0C
 PORT_ISSUED_READ = 0x10
 PORT_ISSUED_WRITE = 0x14
+PORT_TIMEOUT = 0x18
+PORT_FAULTS = 0x1C
 
 #: budget register value meaning "no reservation limit"
 BUDGET_UNLIMITED = 0xFFFF_FFFF
@@ -94,8 +99,11 @@ class RegisterFile:
             self._values[port_register(port, PORT_BUDGET)] = BUDGET_UNLIMITED
             self._values[port_register(port, PORT_ISSUED_READ)] = 0
             self._values[port_register(port, PORT_ISSUED_WRITE)] = 0
+            self._values[port_register(port, PORT_TIMEOUT)] = 0
+            self._values[port_register(port, PORT_FAULTS)] = 0
             self._read_only.add(port_register(port, PORT_ISSUED_READ))
             self._read_only.add(port_register(port, PORT_ISSUED_WRITE))
+            self._read_only.add(port_register(port, PORT_FAULTS))
         self._write_callbacks: List[Callable[[int, int], None]] = []
         #: dynamic read providers (live hardware counters)
         self._providers: Dict[int, Callable[[], int]] = {}

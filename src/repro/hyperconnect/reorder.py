@@ -179,6 +179,43 @@ class InOrderAdapter(Component):
         self._release_write_response()
 
     # ------------------------------------------------------------------
+    # fast-path contract
+    # ------------------------------------------------------------------
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """Mirrors :meth:`tick` sub-step by sub-step.
+
+        The only subtle case is the read-forward guard: an oversized
+        burst at the upstream AR head makes :meth:`tick` *raise*, which
+        is a (terminal) state change — the cycle must not be skipped, or
+        the fast path would hide the configuration error.
+        """
+        up, down = self.upstream, self.downstream
+        if self._ids.available():
+            if up.ar.can_pop() and down.ar.can_push():
+                beat = up.ar.front()
+                if beat.length > self.buffer_beats:
+                    return False  # tick would raise
+                if (self._reserved_beats + beat.length
+                        <= self.buffer_beats):
+                    return False
+            if up.aw.can_pop() and down.aw.can_push():
+                return False
+        if up.w.can_pop() and down.w.can_push():
+            return False
+        if down.r.can_pop() and self._buffered_beats < self.buffer_beats:
+            return False
+        if (self._read_order and up.r.can_push()
+                and self._read_buffers.get(self._read_order[0][0])):
+            return False
+        if down.b.can_pop():
+            return False
+        if (self._write_order and up.b.can_push()
+                and self._write_order[0][0] in self._resp_buffers):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
 
     @property
     def outstanding(self) -> int:

@@ -28,10 +28,14 @@ from dataclasses import dataclass, field
 from typing import Deque, Optional
 
 from ..axi.burst import split_burst
-from ..axi.payloads import AddrBeat
+from ..axi.checker import ProtocolError, check_addr_beat
+from ..axi.payloads import AddrBeat, DataBeat, RespBeat
+from ..axi.types import Resp
 from ..sim.channel import Channel
 from ..sim.component import Component
 from ..sim.errors import ConfigurationError
+from ..sim.events import PortFaultEvent
+from ..sim.stats import PortFaultStats
 from .efifo import EFifoLink
 
 
@@ -46,6 +50,10 @@ class PortConfig:
     max_outstanding: int = 8
     #: sub-transactions per reservation period; ``None`` = unlimited
     budget: Optional[int] = None
+    #: watchdog: max cycles an issued sub-transaction may stay
+    #: outstanding before the port is contained; ``None`` disables the
+    #: watchdog (and the ingest-time protocol guard armed with it)
+    timeout_cycles: Optional[int] = None
     #: counters exposed through the read-only ISSUED_* registers
     issued_read: int = field(default=0)
     issued_write: int = field(default=0)
@@ -58,6 +66,8 @@ class PortConfig:
             raise ConfigurationError("max_outstanding must be >= 1")
         if self.budget is not None and self.budget < 0:
             raise ConfigurationError("budget must be >= 0 or None")
+        if self.timeout_cycles is not None and self.timeout_cycles < 1:
+            raise ConfigurationError("timeout_cycles must be >= 1 or None")
 
 
 class TransactionSupervisor(Component):
@@ -96,6 +106,42 @@ class TransactionSupervisor(Component):
         self.enabled = True
         self.stalled_on_budget = 0   # cycles a request waited on budget
         self.splits_performed = 0
+        #: issue cycles of forwarded sub-transactions, completion order
+        #: (head = oldest; the watchdog deadline derives from it)
+        self._read_issue_cycles: Deque[int] = deque()
+        self._write_issue_cycles: Deque[int] = deque()
+        #: ingested origin requests still owed data/responses by this
+        #: port, in ingest order: reads as ``[origin, beats_owed]``,
+        #: writes as origins (each owed exactly one B).  Maintained by
+        #: push subscriptions on the return channels, so genuine and
+        #: synthesized deliveries are accounted uniformly.
+        self._inflight_reads: Deque[list] = deque()
+        self._inflight_writes: Deque[AddrBeat] = deque()
+        #: containment state: once a watchdog or protocol trip fires the
+        #: port is decoupled and the TS switches to orphan completion
+        self.faulted = False
+        self.fault_cycle: Optional[int] = None
+        self._synth_resp = Resp.SLVERR
+        self.fault_stats = PortFaultStats()
+        ha_link.r.subscribe_push(self._on_r_push)
+        ha_link.b.subscribe_push(self._on_b_push)
+
+    # ------------------------------------------------------------------
+    # orphan accounting (return-channel push subscriptions)
+    # ------------------------------------------------------------------
+
+    def _on_r_push(self, cycle: int, beat) -> None:
+        """One R beat reached the HA; the oldest read owes one fewer."""
+        if self._inflight_reads:
+            entry = self._inflight_reads[0]
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self._inflight_reads.popleft()
+
+    def _on_b_push(self, cycle: int, beat) -> None:
+        """One B response reached the HA; the oldest write is answered."""
+        if self._inflight_writes:
+            self._inflight_writes.popleft()
 
     # ------------------------------------------------------------------
     # central-unit interface
@@ -111,6 +157,8 @@ class TransactionSupervisor(Component):
             raise ConfigurationError(
                 f"{self.name}: read completion with none outstanding")
         self.outstanding_reads -= 1
+        if self._read_issue_cycles:
+            self._read_issue_cycles.popleft()
 
     def note_write_complete(self) -> None:
         """A sub-write's response arrived (EXBAR callback)."""
@@ -118,6 +166,8 @@ class TransactionSupervisor(Component):
             raise ConfigurationError(
                 f"{self.name}: write completion with none outstanding")
         self.outstanding_writes -= 1
+        if self._write_issue_cycles:
+            self._write_issue_cycles.popleft()
 
     # ------------------------------------------------------------------
 
@@ -150,16 +200,167 @@ class TransactionSupervisor(Component):
             for index, (addr, length) in enumerate(pieces))
 
     # ------------------------------------------------------------------
+    # watchdog and containment
+    # ------------------------------------------------------------------
+
+    def _watchdog_deadline(self) -> Optional[int]:
+        """Absolute cycle at which the oldest sub-transaction times out.
+
+        ``None`` when the watchdog is disarmed or nothing is in flight.
+        Deadlines derive from stored issue cycles, so a runtime change of
+        ``timeout_cycles`` re-times every pending deadline.
+        """
+        timeout = self.config.timeout_cycles
+        if timeout is None:
+            return None
+        deadline = None
+        if self._read_issue_cycles:
+            deadline = self._read_issue_cycles[0] + timeout
+        if self._write_issue_cycles:
+            candidate = self._write_issue_cycles[0] + timeout
+            if deadline is None or candidate < deadline:
+                deadline = candidate
+        return deadline
+
+    def _guard_request(self, beat: AddrBeat) -> Optional[str]:
+        """Ingest-time protocol check (armed together with the watchdog)."""
+        if self.config.timeout_cycles is None:
+            return None
+        try:
+            check_addr_beat(beat, self.ha_link.version,
+                            self.ha_link.data_bytes)
+        except ProtocolError as exc:
+            return str(exc)
+        return None
+
+    def _trip(self, cycle: int, kind: str, resp: Resp, age: int = 0,
+              detail: str = "") -> None:
+        """Enter containment: decouple, discard pending, raise the event.
+
+        Sub-transactions already forwarded to the EXBAR are *not*
+        cancelled — the EXBAR's decoupled-port routing drops/flushes
+        their beats so the shared path drains at full speed, and the
+        completion callbacks keep the outstanding counters exact.  The
+        origins they derive from stay in the in-flight queues and are
+        completed with synthesized error responses by
+        :meth:`_containment_tick`.
+        """
+        self.faulted = True
+        self.fault_cycle = cycle
+        self._synth_resp = resp
+        if kind == "watchdog_timeout":
+            self.fault_stats.watchdog_trips += 1
+        else:
+            self.fault_stats.protocol_trips += 1
+        self._pending_ar.clear()
+        self._pending_aw.clear()
+        self.ha_link.decouple()
+        self.sim.events.publish(PortFaultEvent(
+            cycle=cycle, source=self.name, port=self.port_index,
+            kind=kind, age=age,
+            outstanding_reads=self.outstanding_reads,
+            outstanding_writes=self.outstanding_writes,
+            detail=detail))
+
+    def _containment_tick(self, cycle: int) -> None:
+        """Drain the decoupled port and complete its orphans.
+
+        Every cycle while faulted: swallow whatever requests/W beats are
+        still visible in the eFIFO (they were accepted before the gate
+        closed), then synthesize at most one R beat and one B response so
+        the upstream master's protocol state machine finishes every burst
+        it started — with an error response, but without hanging.
+        """
+        link = self.ha_link
+        stats = self.fault_stats
+        while link.ar.can_pop():
+            beat = link.ar.pop()
+            self._inflight_reads.append([beat, beat.length])
+            stats.drained_requests += 1
+        while link.aw.can_pop():
+            beat = link.aw.pop()
+            self._inflight_writes.append(beat)
+            stats.drained_requests += 1
+        while link.w.can_pop():
+            link.w.pop()
+            stats.drained_w_beats += 1
+        if self._inflight_reads and link.r.can_push():
+            origin, owed = self._inflight_reads[0]
+            link.r.push(DataBeat(last=owed == 1, txn_id=origin.txn_id,
+                                 resp=self._synth_resp, addr_beat=origin))
+            stats.synth_r_beats += 1
+            if owed == 1:
+                stats.orphans_completed += 1
+        if self._inflight_writes and link.b.can_push():
+            origin = self._inflight_writes[0]
+            link.b.push(RespBeat(txn_id=origin.txn_id,
+                                 resp=self._synth_resp, addr_beat=origin))
+            stats.synth_b_beats += 1
+            stats.orphans_completed += 1
+
+    @property
+    def drained(self) -> bool:
+        """True once containment has fully run its course.
+
+        Nothing outstanding downstream (the EXBAR finished dropping and
+        flushing), nothing owed upstream, nothing pending or queued in
+        the eFIFO: the port can be reset and re-coupled without any stale
+        beat ever reaching a fresh engine.  A port wedged on a dead slave
+        never drains — recovery policies give up and leave it
+        quarantined, which is the correct end state.
+        """
+        return (self.outstanding_reads == 0
+                and self.outstanding_writes == 0
+                and not self._inflight_reads
+                and not self._inflight_writes
+                and not self._pending_ar
+                and not self._pending_aw
+                and self.ha_link.ar.is_idle
+                and self.ha_link.aw.is_idle
+                and self.ha_link.w.is_idle)
+
+    def clear_fault(self) -> None:
+        """Leave containment (hypervisor recovery, after :meth:`reset`)."""
+        self.faulted = False
+        self.fault_cycle = None
+        self.sim.wake()
+
+    # ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
+        if self.faulted:
+            self._containment_tick(cycle)
+            return
         if not self.coupled or not self.enabled:
+            return
+        deadline = self._watchdog_deadline()
+        if deadline is not None and cycle >= deadline:
+            self._trip(cycle, "watchdog_timeout", Resp.SLVERR,
+                       age=self.config.timeout_cycles)
+            self._containment_tick(cycle)
             return
         # ingest at most one new request per channel per cycle, keeping the
         # pending queues shallow (the eFIFO provides the real buffering)
         if not self._pending_ar and self.ha_link.ar.can_pop():
-            self._pending_ar = self._split(self.ha_link.ar.pop())
+            beat = self.ha_link.ar.pop()
+            violation = self._guard_request(beat)
+            self._inflight_reads.append([beat, beat.length])
+            if violation is not None:
+                self._trip(cycle, "protocol_violation", Resp.DECERR,
+                           detail=violation)
+                self._containment_tick(cycle)
+                return
+            self._pending_ar = self._split(beat)
         if not self._pending_aw and self.ha_link.aw.can_pop():
-            self._pending_aw = self._split(self.ha_link.aw.pop())
+            beat = self.ha_link.aw.pop()
+            violation = self._guard_request(beat)
+            self._inflight_writes.append(beat)
+            if violation is not None:
+                self._trip(cycle, "protocol_violation", Resp.DECERR,
+                           detail=violation)
+                self._containment_tick(cycle)
+                return
+            self._pending_aw = self._split(beat)
         # forward at most one sub-request per address channel per cycle,
         # subject to the outstanding limit and the reservation budget
         if self._pending_ar:
@@ -170,6 +371,7 @@ class TransactionSupervisor(Component):
                 sub.stamps["ts_forward"] = cycle
                 self.out_ar.push(sub)
                 self.outstanding_reads += 1
+                self._read_issue_cycles.append(cycle)
                 self._consume_budget()
                 self.config.issued_read += 1
             elif not self._budget_available():
@@ -182,6 +384,7 @@ class TransactionSupervisor(Component):
                 sub.stamps["ts_forward"] = cycle
                 self.out_aw.push(sub)
                 self.outstanding_writes += 1
+                self._write_issue_cycles.append(cycle)
                 self._consume_budget()
                 self.config.issued_write += 1
             elif not self._budget_available():
@@ -191,10 +394,25 @@ class TransactionSupervisor(Component):
         """Mirrors :meth:`tick`: decoupled/disabled supervisors are fully
         idle; otherwise the TS acts when it can ingest, can forward, or is
         budget-stalled (the stall counter makes a budget-blocked cycle a
-        state change, so it must not be skipped).
+        state change, so it must not be skipped).  A faulted TS acts
+        while the eFIFO still holds anything or orphans remain to be
+        answered; a due watchdog deadline is itself an action.
         """
+        if self.faulted:
+            link = self.ha_link
+            if (link.ar.can_pop() or link.aw.can_pop()
+                    or link.w.can_pop()):
+                return False
+            if self._inflight_reads and link.r.can_push():
+                return False
+            if self._inflight_writes and link.b.can_push():
+                return False
+            return True
         if not self.coupled or not self.enabled:
             return True
+        deadline = self._watchdog_deadline()
+        if deadline is not None and cycle >= deadline:
+            return False
         if not self._pending_ar and self.ha_link.ar.can_pop():
             return False
         if not self._pending_aw and self.ha_link.aw.can_pop():
@@ -213,10 +431,26 @@ class TransactionSupervisor(Component):
                 return False
         return True
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """The watchdog deadline is the TS's only internal alarm.
+
+        Absolute-cycle based, so frozen-horizon bulk skips on the fast
+        path stop exactly at the trip cycle.
+        """
+        if self.faulted or not self.coupled or not self.enabled:
+            return None
+        return self._watchdog_deadline()
+
     def reset(self) -> None:
         self._pending_ar.clear()
         self._pending_aw.clear()
         self.outstanding_reads = 0
         self.outstanding_writes = 0
         self.budget_remaining = self.config.budget
+        self._read_issue_cycles.clear()
+        self._write_issue_cycles.clear()
+        self._inflight_reads.clear()
+        self._inflight_writes.clear()
+        self.faulted = False
+        self.fault_cycle = None
         self.sim.wake()

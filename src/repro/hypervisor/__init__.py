@@ -9,6 +9,7 @@ from .hypervisor import (
 )
 from .integration import FpgaDesign, PlacedAccelerator, SystemIntegrator
 from .interrupts import Interrupt, InterruptController
+from .recovery import FaultRecoveryAgent, RecoveryPolicy
 
 __all__ = [
     "AccessControl",
@@ -25,4 +26,6 @@ __all__ = [
     "SystemIntegrator",
     "Interrupt",
     "InterruptController",
+    "FaultRecoveryAgent",
+    "RecoveryPolicy",
 ]

@@ -19,16 +19,18 @@ models the hypervisor responsibilities the paper enumerates:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..hyperconnect.driver import HyperConnectDriver
 from ..hyperconnect.hyperconnect import HyperConnect
 from ..masters.engine import AxiMasterEngine
 from ..sim.errors import ConfigurationError
+from ..sim.events import PortRecoveryEvent
 from .accessctl import AccessControl, AccessViolation
 from .domain import Criticality, Domain, MemoryRegion
 from .integration import FpgaDesign
 from .interrupts import InterruptController
+from .recovery import FaultRecoveryAgent, RecoveryPolicy
 
 #: default placement of the HyperConnect control window in the PS map
 HYPERCONNECT_CTRL_BASE = 0xA000_0000
@@ -53,12 +55,21 @@ class Hypervisor:
                 f"(got {type(hyperconnect).__name__}); state-of-the-art "
                 "interconnects expose no control interface")
         self.hyperconnect = hyperconnect
+        self.sim = hyperconnect.sim
         self.driver = HyperConnectDriver(hyperconnect)
         self.domains: Dict[str, Domain] = {}
         self.access = AccessControl(MemoryRegion(
             HYPERCONNECT_CTRL_BASE, HYPERCONNECT_CTRL_SIZE))
         self.interrupts = InterruptController()
         self.design: Optional[FpgaDesign] = None
+        #: ports currently held out of service by fault containment
+        self.quarantined: Set[int] = set()
+        #: engines registered via :meth:`attach_accelerator`, so
+        #: :meth:`reset_port` can reset the accelerator with its port
+        self._port_engines: Dict[int, AxiMasterEngine] = {}
+        self.default_recovery_policy = RecoveryPolicy()
+        self._recovery_policies: Dict[str, RecoveryPolicy] = {}
+        self.recovery: Optional[FaultRecoveryAgent] = None
 
     # ------------------------------------------------------------------
     # domain lifecycle
@@ -145,6 +156,80 @@ class Hypervisor:
         domain.isolated = False
 
     # ------------------------------------------------------------------
+    # fault recovery (watchdog containment aftermath)
+    # ------------------------------------------------------------------
+
+    def set_recovery_policy(self, domain_name: str,
+                            policy: RecoveryPolicy) -> None:
+        """Choose how faults on a domain's ports are handled."""
+        self.domain(domain_name)  # validate the name
+        self._recovery_policies[domain_name] = policy
+
+    def policy_for_port(self, port: int) -> RecoveryPolicy:
+        """The recovery policy governing a port (owning domain's, or the
+        hypervisor-wide default when no domain claims the port)."""
+        for name, domain in self.domains.items():
+            if port in domain.ports:
+                return self._recovery_policies.get(
+                    name, self.default_recovery_policy)
+        return self.default_recovery_policy
+
+    def enable_fault_recovery(self) -> FaultRecoveryAgent:
+        """Start listening for port faults and applying recovery policy.
+
+        Idempotent: a second call returns the existing agent.
+        """
+        if self.recovery is None:
+            self.recovery = FaultRecoveryAgent(
+                self.sim, "hypervisor.recovery", self)
+        return self.recovery
+
+    def quarantine(self, port: int) -> None:
+        """Take a faulted port out of service (keeps it decoupled).
+
+        Safe to call on a port the watchdog already decoupled: the write
+        merely brings the register view in line with the gate state.
+        """
+        self.driver.decouple(port)
+        self.quarantined.add(port)
+        self.sim.events.publish(PortRecoveryEvent(
+            cycle=self.sim.now, source="hypervisor", port=port,
+            kind="quarantine"))
+
+    def reset_port(self, port: int) -> None:
+        """Return a quarantined port (and its accelerator) to power-on
+        state: supervisor counters, eFIFO queues, and — when the engine
+        was registered through :meth:`attach_accelerator` — the HA model
+        itself."""
+        engine = self._port_engines.get(port)
+        if engine is not None:
+            engine.reset()
+        self.hyperconnect.supervisors[port].reset()
+        self.hyperconnect.ports[port].clear()
+        self.sim.events.publish(PortRecoveryEvent(
+            cycle=self.sim.now, source="hypervisor", port=port,
+            kind="reset"))
+
+    def recouple(self, port: int) -> None:
+        """Put a quarantined port back in service.
+
+        Refuses while containment is still draining: recoupling with
+        orphans outstanding would let stale responses reach a freshly
+        reset accelerator.
+        """
+        supervisor = self.hyperconnect.supervisors[port]
+        if not supervisor.drained:
+            raise ConfigurationError(
+                f"port {port} still has orphaned transactions draining; "
+                "recouple refused")
+        supervisor.clear_fault()
+        self.driver.couple(port)
+        self.quarantined.discard(port)
+        self.sim.events.publish(PortRecoveryEvent(
+            cycle=self.sim.now, source="hypervisor", port=port,
+            kind="recouple"))
+
+    # ------------------------------------------------------------------
     # guest-side services
     # ------------------------------------------------------------------
 
@@ -168,6 +253,7 @@ class Hypervisor:
         if port not in domain.ports:
             raise AccessViolation(
                 f"domain {domain_name!r} does not own port {port}")
+        self._port_engines[port] = engine
         engine.on_job_complete(
             lambda job, cycle: self.interrupts.raise_irq(
                 port, engine.name, cycle))

@@ -1,0 +1,156 @@
+"""Hypervisor-side fault recovery for contained HyperConnect ports.
+
+The watchdog inside each :class:`~repro.hyperconnect.supervisor.
+TransactionSupervisor` *contains* a faulty port (decouple, drain, complete
+orphans) but deliberately stops there: whether the port comes back is a
+policy decision, and policy belongs to the hypervisor.  This module is
+that policy layer:
+
+* :class:`RecoveryPolicy` — per-domain knobs: retry automatically or stay
+  quarantined, how many times, and with what (exponentially growing)
+  cycle backoff between attempts.
+* :class:`FaultRecoveryAgent` — a clocked component the hypervisor
+  registers on the simulator.  It listens for
+  :class:`~repro.sim.events.PortFaultEvent` on the event bus, quarantines
+  the port immediately, and — when the policy allows — schedules a reset
+  + recouple once the backoff elapses *and* the supervisor reports the
+  port drained.
+
+The agent participates in the fast kernel path: its pending recovery
+deadlines are exposed through ``next_event_cycle`` so a frozen system
+still wakes up exactly when a retry is due.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from ..sim.component import Component
+from ..sim.errors import ConfigurationError
+from ..sim.events import PortFaultEvent, PortRecoveryEvent
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the hypervisor treats faults on a domain's ports.
+
+    Attributes
+    ----------
+    auto_retry:
+        ``False`` means quarantine forever (appropriate for high-
+        criticality neighbours of an untrusted domain: a port that
+        misbehaved once never gets the bus back without operator action).
+    max_retries:
+        Recovery attempts before giving up and leaving the port
+        quarantined.
+    backoff_cycles / backoff_factor:
+        Attempt ``k`` (0-based) waits ``backoff_cycles * factor**k``
+        cycles after the fault before resetting the port.  The growing
+        backoff keeps a persistently faulty accelerator from consuming
+        bus time with futile recouple/trip churn.
+    """
+
+    auto_retry: bool = True
+    max_retries: int = 3
+    backoff_cycles: int = 512
+    backoff_factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_cycles < 1:
+            raise ConfigurationError("backoff_cycles must be >= 1")
+        if self.backoff_factor < 1:
+            raise ConfigurationError("backoff_factor must be >= 1")
+
+    def backoff_for(self, attempt: int) -> int:
+        """Backoff (cycles) before 0-based recovery ``attempt``."""
+        return self.backoff_cycles * self.backoff_factor ** attempt
+
+
+class FaultRecoveryAgent(Component):
+    """Event-driven recovery loop run by the hypervisor.
+
+    Lifecycle per fault: ``PortFaultEvent`` -> quarantine (immediate)
+    -> wait ``backoff`` cycles -> if the supervisor reports the port
+    drained: reset + recouple; otherwise burn the attempt and re-arm the
+    (longer) backoff.  Attempts are bounded by the policy; exhaustion
+    publishes a ``giveup`` :class:`PortRecoveryEvent` and the port stays
+    quarantined.
+    """
+
+    def __init__(self, sim, name: str, hypervisor) -> None:
+        super().__init__(sim, name)
+        self.hypervisor = hypervisor
+        #: port -> absolute cycle at which the next attempt is due
+        self._due: Dict[int, int] = {}
+        #: port -> recovery attempts consumed so far
+        self.retries: Dict[int, int] = {}
+        #: ports whose policy (or retry budget) ruled out recovery
+        self.gave_up: Set[int] = set()
+        sim.events.subscribe(self._on_fault, PortFaultEvent)
+
+    # ------------------------------------------------------------------
+
+    def _on_fault(self, event: PortFaultEvent) -> None:
+        hyperconnect = self.hypervisor.hyperconnect
+        if not 0 <= event.port < hyperconnect.n_ports:
+            return
+        if hyperconnect.supervisors[event.port].name != event.source:
+            return  # someone else's fault (e.g. a SmartConnect baseline)
+        port = event.port
+        self.hypervisor.quarantine(port)
+        policy = self.hypervisor.policy_for_port(port)
+        attempt = self.retries.get(port, 0)
+        if policy.auto_retry and attempt < policy.max_retries:
+            self._due[port] = event.cycle + policy.backoff_for(attempt)
+            self.sim.wake()
+        else:
+            self._give_up(event.cycle, port, attempt)
+
+    def _give_up(self, cycle: int, port: int, attempt: int) -> None:
+        self._due.pop(port, None)
+        self.gave_up.add(port)
+        self.sim.events.publish(PortRecoveryEvent(
+            cycle=cycle, source=self.name, port=port, kind="giveup",
+            attempt=attempt))
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        if not self._due:
+            return
+        for port, due in list(self._due.items()):
+            if cycle < due:
+                continue
+            supervisor = self.hypervisor.hyperconnect.supervisors[port]
+            attempt = self.retries.get(port, 0)
+            self.retries[port] = attempt + 1
+            if supervisor.drained:
+                del self._due[port]
+                self.hypervisor.reset_port(port)
+                self.hypervisor.recouple(port)
+                continue
+            # containment is still draining orphans: the attempt is
+            # burned (the backoff was evidently too optimistic)
+            policy = self.hypervisor.policy_for_port(port)
+            if attempt + 1 >= policy.max_retries:
+                self._give_up(cycle, port, attempt + 1)
+            else:
+                self._due[port] = cycle + policy.backoff_for(attempt + 1)
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """Pure timer component: acts only when an attempt is due."""
+        return not self._due or cycle < min(self._due.values())
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest pending recovery deadline."""
+        return min(self._due.values()) if self._due else None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> Dict[int, int]:
+        """Scheduled attempts (port -> due cycle), for inspection."""
+        return dict(self._due)

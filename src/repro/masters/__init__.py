@@ -10,6 +10,7 @@ from .chaidnn import (
 )
 from .dma import AxiDma, DmaDescriptor, standard_case_study_dma
 from .engine import AxiMasterEngine, Job
+from .faulty import FAULT_MODES, FaultInjectingMaster
 from .tracefile import (
     BusTraceRecorder,
     TraceRecord,
@@ -36,6 +37,8 @@ __all__ = [
     "standard_case_study_dma",
     "AxiMasterEngine",
     "Job",
+    "FAULT_MODES",
+    "FaultInjectingMaster",
     "BusTraceRecorder",
     "TraceRecord",
     "TraceReplayMaster",

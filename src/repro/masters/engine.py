@@ -129,6 +129,8 @@ class AxiMasterEngine(Component):
         self.jobs_completed: List[Job] = []
         self.bytes_read = 0
         self.bytes_written = 0
+        #: error responses observed on R and B (SLVERR/DECERR beats)
+        self.error_responses = 0
         self._active = True
         self._completion_callbacks: List[Callable[[Job, int], None]] = []
 
@@ -194,6 +196,15 @@ class AxiMasterEngine(Component):
         return bool(self._jobs or self._active_jobs or self._issue_queue
                     or self._outstanding_reads or self._outstanding_writes
                     or self._write_data)
+
+    @property
+    def outstanding(self) -> int:
+        """Issued address requests still awaiting data/response.
+
+        Liveness tests assert this reaches zero: whatever faults the
+        fabric contains, every issued transaction must be answered.
+        """
+        return len(self._outstanding_reads) + len(self._outstanding_writes)
 
     def _check_size(self, nbytes: int) -> int:
         beat = self.link.data_bytes
@@ -371,6 +382,10 @@ class AxiMasterEngine(Component):
         txn = request.txn
         if txn is not None and txn.first_data is None:
             txn.first_data = cycle
+        if beat.resp.is_error:
+            self.error_responses += 1
+            if txn is not None:
+                txn.resp = txn.resp.merged_with(beat.resp)
         entry[1] = beats_left - 1
         self.bytes_read += request.size_bytes
         job.read_bytes_done += request.size_bytes
@@ -400,6 +415,8 @@ class AxiMasterEngine(Component):
                 f"{self.name}: B response with no outstanding write")
         request, job = self._outstanding_writes.popleft()
         self._ids.release(request.txn_id)
+        if response.resp.is_error:
+            self.error_responses += 1
         txn = request.txn
         if txn is not None:
             txn.completed = cycle

@@ -29,6 +29,16 @@ class FaultInjectingMemory(MemorySubsystem):
     stall_rate / stall_cycles:
         Probability of freezing the data pipeline for ``stall_cycles``
         before serving a beat (models controller hiccups / refresh).
+    dead_after_beats:
+        Deterministic hard failure: once this many beats have been
+        served the data pipeline goes permanently silent (commands are
+        still accepted and queue up, exactly like a wedged controller
+        whose bus interface still acks).  :meth:`revive` undoes it.
+    freeze_window:
+        Deterministic transient failure: an absolute ``(start, end)``
+        cycle range during which the data pipeline serves nothing.
+        Unlike ``stall_rate`` this draws no randomness, so watchdog
+        trip cycles are exactly reproducible.
     seed:
         All randomness is seeded — runs are reproducible.
     """
@@ -36,6 +46,8 @@ class FaultInjectingMemory(MemorySubsystem):
     def __init__(self, *args, error_rate: float = 0.0,
                  error_window: Optional[tuple] = None,
                  stall_rate: float = 0.0, stall_cycles: int = 20,
+                 dead_after_beats: Optional[int] = None,
+                 freeze_window: Optional[tuple] = None,
                  seed: int = 1, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         if not 0.0 <= error_rate <= 1.0:
@@ -44,10 +56,17 @@ class FaultInjectingMemory(MemorySubsystem):
             raise ConfigurationError("stall_rate must be in [0, 1]")
         if stall_cycles < 1:
             raise ConfigurationError("stall_cycles must be >= 1")
+        if dead_after_beats is not None and dead_after_beats < 0:
+            raise ConfigurationError("dead_after_beats must be >= 0")
+        if freeze_window is not None and freeze_window[0] >= freeze_window[1]:
+            raise ConfigurationError(
+                "freeze_window must be a (start, end) cycle range")
         self.error_rate = error_rate
         self.error_window = error_window
         self.stall_rate = stall_rate
         self.stall_cycles = stall_cycles
+        self.dead_after_beats = dead_after_beats
+        self.freeze_window = freeze_window
         self._rng = random.Random(seed)
         self._stalled_until = 0
         self.errors_injected = 0
@@ -61,6 +80,17 @@ class FaultInjectingMemory(MemorySubsystem):
         return False
 
     # ------------------------------------------------------------------
+
+    @property
+    def is_dead(self) -> bool:
+        """True once the deterministic hard-failure threshold is reached."""
+        return (self.dead_after_beats is not None
+                and self.beats_served >= self.dead_after_beats)
+
+    def revive(self) -> None:
+        """Clear the hard-failure state (a power-cycle, in effect)."""
+        self.dead_after_beats = None
+        self.sim.wake()
 
     def _fault_applies(self, address: int) -> bool:
         if self.error_window is None:
@@ -76,6 +106,11 @@ class FaultInjectingMemory(MemorySubsystem):
         return Resp.OKAY
 
     def _advance(self, command, cycle: int) -> None:
+        if self.is_dead:
+            return
+        if (self.freeze_window is not None
+                and self.freeze_window[0] <= cycle < self.freeze_window[1]):
+            return
         if cycle < self._stalled_until:
             return
         if (self.stall_rate > 0.0
@@ -95,9 +130,10 @@ class FaultInjectingMemory(MemorySubsystem):
     def _poison_last_emission(self, resp: Resp) -> None:
         """Rewrite the response of the beat just pushed (R) or just
         scheduled (B)."""
-        r_channel = self.link.r
-        if r_channel._staged:                      # read beat this cycle
-            r_channel._staged[-1].resp = resp
+        def _set_resp(beat):
+            beat.resp = resp
+
+        if self.link.r.amend_staged(_set_resp):    # read beat this cycle
             return
         if self._pending_b:                        # write response due
             self._pending_b[-1][1].resp = resp

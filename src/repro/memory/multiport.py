@@ -66,7 +66,6 @@ class MultiPortMemorySubsystem(Component):
             deque() for _ in links]
         self._pending_b: List[Tuple[int, int, RespBeat]] = []
         self._bus_free_at = 0
-        self._ingest_pointer = 0
         self.queue_delay = OnlineStats()
         self.beats_served = 0
         self.per_port_beats = [0 for _ in links]
@@ -91,10 +90,13 @@ class MultiPortMemorySubsystem(Component):
     def _ingest(self, cycle: int) -> None:
         """Round-robin ingest: one address beat per port per cycle,
         starting from a rotating pointer so no port gets structural
-        priority when the command queue is scarce."""
+        priority when the command queue is scarce.  The pointer is
+        derived from the cycle number (identical to a counter bumped on
+        every tick, since ticks are per-cycle) so that bulk-skipped idle
+        cycles cannot desynchronize it."""
         n_ports = len(self.links)
         for offset in range(n_ports):
-            port = (self._ingest_pointer + offset) % n_ports
+            port = (cycle + offset) % n_ports
             link = self.links[port]
             if (len(self._commands) < self.command_depth
                     and link.ar.can_pop()):
@@ -108,7 +110,6 @@ class MultiPortMemorySubsystem(Component):
                     _PortedCommand(False, beat, cycle, port))
             if link.w.can_pop():
                 self._write_beats[port].append(link.w.pop())
-        self._ingest_pointer = (self._ingest_pointer + 1) % n_ports
 
     def _start(self, command: _PortedCommand, cycle: int) -> None:
         base = (self.timing.read_latency if command.is_read
@@ -152,6 +153,49 @@ class MultiPortMemorySubsystem(Component):
         if command.beats_left == 0:
             self._bus_free_at = cycle + 1
             self._current = None
+
+    # ------------------------------------------------------------------
+    # fast-path contract
+    # ------------------------------------------------------------------
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """Mirrors :meth:`tick`: a cycle acts iff a command could start,
+        the active command could move a beat, a due B response could be
+        delivered, or any port presents an ingestible beat."""
+        if self._commands and self._current is None:
+            return False
+        command = self._current
+        if command is not None and cycle >= command.data_start:
+            link = self.links[command.port]
+            if command.is_read:
+                if link.r.can_push():
+                    return False
+            elif self._write_beats[command.port]:
+                return False
+        if self._pending_b and self._pending_b[0][0] <= cycle:
+            if self.links[self._pending_b[0][1]].b.can_push():
+                return False
+        room = len(self._commands) < self.command_depth
+        for link in self.links:
+            if room and (link.ar.can_pop() or link.aw.can_pop()):
+                return False
+            if link.w.can_pop():
+                return False
+        return True
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Internal timers: the active command's data start and the head
+        B-response release."""
+        horizon: Optional[int] = None
+        command = self._current
+        if (command is not None and command.data_start is not None
+                and command.data_start > cycle):
+            horizon = command.data_start
+        if self._pending_b and self._pending_b[0][0] > cycle:
+            due = self._pending_b[0][0]
+            if horizon is None or due < horizon:
+                horizon = due
+        return horizon
 
     # ------------------------------------------------------------------
 

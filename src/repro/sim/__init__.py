@@ -14,8 +14,15 @@ from .errors import (
     ReproError,
     SimulationError,
 )
+from .events import EventBus, PortFaultEvent, PortRecoveryEvent
 from .kernel import Simulator
-from .stats import Histogram, KernelSkipStats, OnlineStats, RateCounter
+from .stats import (
+    Histogram,
+    KernelSkipStats,
+    OnlineStats,
+    PortFaultStats,
+    RateCounter,
+)
 from .trace import TraceEvent, Tracer
 
 __all__ = [
@@ -26,10 +33,14 @@ __all__ = [
     "ConfigurationError",
     "ReproError",
     "SimulationError",
+    "EventBus",
+    "PortFaultEvent",
+    "PortRecoveryEvent",
     "Simulator",
     "Histogram",
     "KernelSkipStats",
     "OnlineStats",
+    "PortFaultStats",
     "RateCounter",
     "TraceEvent",
     "Tracer",

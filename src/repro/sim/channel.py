@@ -147,6 +147,25 @@ class Channel:
             for callback in self._push_listeners:
                 callback(now, item)
 
+    def amend_staged(self, mutate) -> bool:
+        """Apply ``mutate(item)`` to the most recently staged item.
+
+        Fault injectors and similar decorators sometimes need to rewrite
+        a payload *after* the producing component staged it this cycle —
+        e.g. poisoning a data beat's response code.  This is the public
+        way to do that: it only touches work staged in the current cycle
+        (nothing already committed can be amended), keeps the two-phase
+        protocol intact, and returns ``False`` when there is nothing
+        staged to amend.
+
+        The mutation happens before commit, so consumers can never
+        observe the un-amended item — on either kernel path.
+        """
+        if not self._staged:
+            return False
+        mutate(self._staged[-1])
+        return True
+
     # ------------------------------------------------------------------
     # consumer side
     # ------------------------------------------------------------------

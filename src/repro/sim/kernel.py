@@ -60,6 +60,7 @@ from typing import Callable, Dict, List, Optional
 from .channel import Channel
 from .component import Component
 from .errors import SimulationError
+from .events import EventBus
 from .stats import KernelSkipStats
 
 #: Horizon value meaning "no wake-up source known" (frozen indefinitely;
@@ -107,6 +108,10 @@ class Simulator:
         self._quiescent_until: float = 0
         #: per-run skip accounting for the fast path
         self.skip_stats = KernelSkipStats()
+        #: simulation-wide fault/recovery notification hub (see
+        #: :mod:`repro.sim.events`); components publish, the hypervisor
+        #: and observers subscribe.
+        self.events = EventBus()
 
     # ------------------------------------------------------------------
     # registration (called from Component / Channel constructors)

@@ -189,6 +189,63 @@ class KernelSkipStats:
                 f"ticks_skipped={self.ticks_skipped})")
 
 
+class PortFaultStats:
+    """Per-port accounting of watchdog containment work.
+
+    Kept by every :class:`~repro.hyperconnect.supervisor.TransactionSupervisor`
+    (and the SmartConnect mirror) in the same always-on, dependency-free
+    style as :class:`KernelSkipStats`:
+
+    * ``watchdog_trips`` / ``protocol_trips`` — containment entries, by
+      trigger (transaction age timeout vs. illegal request at ingest).
+    * ``orphans_completed`` — transactions the master had issued that were
+      finished with synthesized error responses instead of real data.
+    * ``synth_r_beats`` / ``synth_b_beats`` — synthesized response beats
+      pushed upstream so masters never hang.
+    * ``drained_requests`` / ``drained_w_beats`` — requests and write
+      beats swallowed out of the decoupled port's eFIFO during
+      containment.
+    """
+
+    __slots__ = ("watchdog_trips", "protocol_trips", "orphans_completed",
+                 "synth_r_beats", "synth_b_beats", "drained_requests",
+                 "drained_w_beats")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.watchdog_trips = 0
+        self.protocol_trips = 0
+        self.orphans_completed = 0
+        self.synth_r_beats = 0
+        self.synth_b_beats = 0
+        self.drained_requests = 0
+        self.drained_w_beats = 0
+
+    @property
+    def trips(self) -> int:
+        """Total containment entries, whatever the trigger."""
+        return self.watchdog_trips + self.protocol_trips
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for reports and JSON dumps)."""
+        return {
+            "watchdog_trips": self.watchdog_trips,
+            "protocol_trips": self.protocol_trips,
+            "orphans_completed": self.orphans_completed,
+            "synth_r_beats": self.synth_r_beats,
+            "synth_b_beats": self.synth_b_beats,
+            "drained_requests": self.drained_requests,
+            "drained_w_beats": self.drained_w_beats,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PortFaultStats(trips={self.trips}, "
+                f"orphans={self.orphans_completed})")
+
+
 class RateCounter:
     """Counts events and converts them to a per-second rate.
 

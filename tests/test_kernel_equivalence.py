@@ -205,6 +205,97 @@ class TestContentionScenarios:
         assert reference == fast
 
 
+class TestFutureWorkTopologies:
+    """The final quiescence hooks from the ROADMAP — the in-order
+    adapter for out-of-order platforms and the multi-port memory
+    subsystem — checked differentially like every other component."""
+
+    def test_ooo_adapter_stack(self):
+        def run(fast):
+            from repro.axi.port import AxiLink
+            from repro.hyperconnect import HyperConnect, InOrderAdapter
+            from repro.memory import DramTiming, OutOfOrderMemory
+            from repro.sim import Simulator
+
+            sim = Simulator("ooo", clock_hz=ZCU102.pl_clock_hz, fast=fast)
+            up = AxiLink(sim, "up", data_bytes=16)
+            down = AxiLink(sim, "down", data_bytes=16)
+            hc = HyperConnect(sim, "hc", 2, up)
+            adapter = InOrderAdapter(sim, "adapter", up, down)
+            memory = OutOfOrderMemory(
+                sim, "mem", down,
+                timing=DramTiming(read_latency=12, write_latency=8,
+                                  resp_latency=2, row_miss_penalty=24),
+                lookahead=8)
+            a = AxiDma(sim, "a", hc.port(0))
+            b = AxiDma(sim, "b", hc.port(1))
+            # alternate far-apart rows so the controller actually reorders
+            for index in range(6):
+                base = 0x0 if index % 2 == 0 else 0x40_0000
+                a.enqueue_read(base + index * 512, 512)
+            b.enqueue_write(0x20_0000, 2048)
+            b.enqueue_read(0x80_0000, 1024)
+            sim.run_until(lambda: not a.busy and not b.busy,
+                          max_cycles=200_000)
+            sim.run(64)
+            return (_signature(a, b), _memory_counters(memory),
+                    memory.reordered_served,
+                    adapter.out_of_order_arrivals, sim.now)
+
+        reference, fast = _both(run)
+        assert reference == fast
+
+    def test_multiport_memory_subsystem(self):
+        def run(fast):
+            from repro.axi.port import AxiLink
+            from repro.hyperconnect import HyperConnect
+            from repro.memory import MultiPortMemorySubsystem
+            from repro.sim import Simulator
+
+            sim = Simulator("hp", clock_hz=ZCU102.pl_clock_hz, fast=fast)
+            hp0 = AxiLink(sim, "hp0", data_bytes=16)
+            hp1 = AxiLink(sim, "hp1", data_bytes=16)
+            hc0 = HyperConnect(sim, "hc0", 2, hp0)
+            hc1 = HyperConnect(sim, "hc1", 1, hp1)
+            memory = MultiPortMemorySubsystem(sim, "mem", [hp0, hp1],
+                                              timing=ZCU102.dram)
+            a = AxiDma(sim, "a", hc0.port(0))
+            b = AxiDma(sim, "b", hc0.port(1))
+            c = AxiDma(sim, "c", hc1.port(0))
+            a.enqueue_read(0x1000_0000, 8192)
+            b.enqueue_write(0x2000_0000, 4096)
+            c.enqueue_copy(0x3000_0000, 0x3800_0000, 4096)
+            sim.run_until(lambda: not (a.busy or b.busy or c.busy),
+                          max_cycles=200_000)
+            sim.run(64)
+            return (_signature(a, b, c), memory.beats_served,
+                    tuple(memory.per_port_beats),
+                    memory.queue_delay.count, memory.queue_delay.mean,
+                    sim.now)
+
+        reference, fast = _both(run)
+        assert reference == fast
+
+    def test_multiport_fast_path_skips(self):
+        """The new hooks must actually unlock skipping, not just stay
+        equivalent by never claiming quiescence."""
+        from repro.axi.port import AxiLink
+        from repro.hyperconnect import HyperConnect
+        from repro.memory import MultiPortMemorySubsystem
+        from repro.sim import Simulator
+
+        sim = Simulator("hp", clock_hz=ZCU102.pl_clock_hz, fast=True)
+        hp0 = AxiLink(sim, "hp0", data_bytes=16)
+        hc0 = HyperConnect(sim, "hc0", 1, hp0)
+        MultiPortMemorySubsystem(sim, "mem", [hp0], timing=ZCU102.dram)
+        dma = AxiDma(sim, "dma", hc0.port(0))
+        job = dma.enqueue_read(0x1000_0000, 16)
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=50_000)
+        assert job.completed is not None
+        assert sim.skip_stats.ticks_skipped > 0
+
+
 class TestObservables:
     """Monitors, traces, and memory contents across the two paths."""
 

@@ -166,6 +166,41 @@ class TestFaultInjection:
                       max_cycles=20_000)
         assert responses == [Resp.SLVERR]
 
+    def test_write_error_reaches_the_master_end_to_end(self):
+        """A write-path fault must arrive at the master's B handler and
+        be counted there — not just be visible on the channel."""
+        sim, hc, memory = self.build(error_rate=1.0, seed=3)
+        dma = AxiDma(sim, "dma", hc.port(0))
+        job = dma.enqueue_write(0x0, 1024)
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=20_000)
+        # 1024 B at 16-beat nominal bursts = 4 sub-writes, each SLVERR
+        assert dma.error_responses == 4
+        assert memory.errors_injected > 0
+        assert job.write_bytes_done == 1024
+
+    def test_dead_after_beats_silences_the_pipeline(self):
+        sim, hc, memory = self.build(dead_after_beats=16)
+        dma = AxiDma(sim, "dma", hc.port(0))
+        job = dma.enqueue_read(0x0, 1024)
+        sim.run(5_000)
+        assert memory.is_dead
+        assert memory.beats_served == 16
+        assert job.completed is None
+        memory.revive()
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=20_000)
+        assert job.completed is not None
+
+    def test_freeze_window_is_transient(self):
+        sim, hc, memory = self.build(freeze_window=(100, 400))
+        dma = AxiDma(sim, "dma", hc.port(0))
+        job = dma.enqueue_read(0x0, 2048)
+        sim.run_until(lambda: job.completed is not None,
+                      max_cycles=20_000)
+        assert job.completed is not None
+        assert job.latency > 300  # the freeze shows up in the latency
+
     def test_error_window_scopes_faults(self):
         sim, hc, memory = self.build(error_rate=1.0,
                                      error_window=(0x10_0000, 0x20_0000))
@@ -212,3 +247,7 @@ class TestFaultInjection:
             self.build(stall_rate=-0.1)
         with pytest.raises(ConfigurationError):
             self.build(stall_cycles=0)
+        with pytest.raises(ConfigurationError):
+            self.build(dead_after_beats=-1)
+        with pytest.raises(ConfigurationError):
+            self.build(freeze_window=(500, 100))

@@ -170,6 +170,41 @@ class TestIntrospection:
         assert channel.occupancy == 3  # 1 queued + 1 popped + 1 staged
 
 
+class TestAmendStaged:
+    """The public hook fault injectors use to rewrite staged payloads."""
+
+    def test_amends_only_the_staged_item(self, sim):
+        channel = make(sim)
+        committed = ["old"]
+        staged = ["old"]
+        channel.push(committed)
+        sim.step()                      # first item commits
+        channel.push(staged)
+        assert channel.amend_staged(lambda item: item.__setitem__(0, "new"))
+        assert committed == ["old"]     # committed work cannot be amended
+        assert staged == ["new"]
+        sim.step()
+        assert channel.pop() == ["old"]
+        assert channel.pop() == ["new"]
+
+    def test_consumer_never_sees_the_unamended_item(self, sim):
+        channel = make(sim)
+        seen = []
+        channel.subscribe_pop(lambda cycle, item: seen.append(list(item)))
+        channel.push(["x"])
+        channel.amend_staged(lambda item: item.__setitem__(0, "y"))
+        sim.step()
+        assert channel.pop() == ["y"]
+        assert seen == [["y"]]
+
+    def test_returns_false_with_nothing_staged(self, sim):
+        channel = make(sim)
+        assert not channel.amend_staged(lambda item: None)
+        channel.push(["x"])
+        sim.step()                      # staged -> committed
+        assert not channel.amend_staged(lambda item: None)
+
+
 class TestListeners:
     def test_push_listener_sees_cycle_and_item(self, sim):
         channel = make(sim)
