@@ -12,7 +12,7 @@ from repro.masters import GreedyTrafficGenerator
 from repro.platforms import ZCU102
 from repro.system import SocSystem
 
-from conftest import publish
+from conftest import publish, wall_ms
 
 WINDOW = 150_000
 
@@ -47,7 +47,16 @@ def test_ablation_equalization(benchmark):
         note = "(equalized)" if nominal == 16 else (
             "(equalization off)" if nominal == 256 else "")
         rows.append(f"{nominal:>13}   {ratio:>10.2f}  {note}")
-    publish("ablation_equalization", "\n".join(rows))
+    elapsed = wall_ms(benchmark)
+    simulated = len(ratios) * WINDOW
+    publish("ablation_equalization", "\n".join(rows), metrics={
+        "wall_ms": elapsed,
+        "cycles_per_sec": (simulated / (elapsed / 1e3)
+                           if elapsed else None),
+        # headline: unfairness factor removed by equalization
+        "speedup": ratios[256] / ratios[16],
+        "ratios": {str(k): v for k, v in ratios.items()},
+    })
     benchmark.extra_info.update(
         {str(k): v for k, v in ratios.items()})
 

@@ -14,7 +14,7 @@ from repro.masters import AxiDma, GreedyTrafficGenerator
 from repro.platforms import ZCU102
 from repro.system import SocSystem
 
-from conftest import publish
+from conftest import publish, wall_ms
 
 GRANULARITIES = (1, 2, 4, 8)
 PROBES = 60
@@ -62,7 +62,12 @@ def test_ablation_granularity(benchmark):
     rows = ["arbiter          worst victim txn latency (cycles)"]
     for label, worst in results.items():
         rows.append(f"{label:<17}{worst:>10}")
-    publish("ablation_granularity", "\n".join(rows))
+    publish("ablation_granularity", "\n".join(rows), metrics={
+        "wall_ms": wall_ms(benchmark),
+        # latency-bound probes; headline: worst-case ratio g=8 vs EXBAR
+        "speedup": results["SC g=8"] / results["EXBAR (g=1)"],
+        "worst_latency": results,
+    })
     benchmark.extra_info.update(results)
 
     # shape: worst case grows monotonically with granularity ...

@@ -15,7 +15,7 @@ from repro.sim import Simulator
 from repro.smartconnect import SmartConnect, smartconnect_master_link
 from repro.system import SocSystem
 
-from conftest import publish
+from conftest import publish, wall_ms
 
 WINDOW = 150_000
 
@@ -65,7 +65,19 @@ def test_ablation_qos400(benchmark):
     rows = ["configuration           victim share   bus util (B/cycle)"]
     for label, (share, utilisation) in results.items():
         rows.append(f"{label:<24}{share:>11.1%}{utilisation:>15.1f}")
-    publish("ablation_qos400", "\n".join(rows))
+    elapsed = wall_ms(benchmark)
+    simulated = len(results) * WINDOW
+    publish("ablation_qos400", "\n".join(rows), metrics={
+        "wall_ms": elapsed,
+        "cycles_per_sec": (simulated / (elapsed / 1e3)
+                           if elapsed else None),
+        # headline: victim share fabric-side vs best PS-side setting
+        "speedup": (results["HC reserve 90%"][0]
+                    / max(share for label, (share, __) in results.items()
+                          if label.startswith("QoS"))),
+        "victim_share": {label: share
+                         for label, (share, __) in results.items()},
+    })
     benchmark.extra_info.update(
         {label: share for label, (share, __) in results.items()})
 

@@ -11,7 +11,7 @@ from repro.masters import GreedyTrafficGenerator
 from repro.platforms import ZCU102
 from repro.system import SocSystem
 
-from conftest import publish
+from conftest import publish, wall_ms
 
 WINDOW = 150_000
 PERIOD = 2048
@@ -49,7 +49,15 @@ def test_ablation_reservation(benchmark):
         label = "decoupled" if configured == 0.0 else f"{configured:.0%}"
         rows.append(f"{label:>16}   {delivered:>15.1%}"
                     f"{delivered - configured:>+9.1%}")
-    publish("ablation_reservation", "\n".join(rows))
+    elapsed = wall_ms(benchmark)
+    simulated = len(results) * WINDOW
+    publish("ablation_reservation", "\n".join(rows), metrics={
+        "wall_ms": elapsed,
+        "cycles_per_sec": (simulated / (elapsed / 1e3)
+                           if elapsed else None),
+        # linearity bench: no single ratio is the headline
+        "delivered": {str(k): v for k, v in results.items()},
+    })
     benchmark.extra_info.update(
         {str(k): v for k, v in results.items()})
 

@@ -20,7 +20,7 @@ from repro.platforms import ZCU102
 from repro.sim import Simulator
 from repro.sim.events import PortFaultEvent, PortRecoveryEvent
 
-from conftest import publish
+from conftest import publish, wall_ms
 
 TIMEOUT = 400
 POLICY = RecoveryPolicy(max_retries=3, backoff_cycles=256,
@@ -162,7 +162,17 @@ def test_fault_campaign(benchmark):
                 f"watchdog timeout {TIMEOUT} cycles, victim ports "
                 f"{4 * TIMEOUT}; policy: {POLICY.max_retries} retries, "
                 f"{POLICY.backoff_cycles}-cycle exponential backoff)")
-    publish("fault_campaign", "\n".join(rows))
+    elapsed = wall_ms(benchmark)
+    simulated = sum(reference[name]["elapsed"] for name in SCENARIOS) * 2
+    publish("fault_campaign", "\n".join(rows), metrics={
+        "wall_ms": elapsed,
+        "cycles_per_sec": (simulated / (elapsed / 1e3)
+                           if elapsed else None),
+        # containment record, not a perf comparison
+        "outcomes": {name: reference[name]["outcome"]
+                     for name in SCENARIOS},
+        "paths_identical": reference == fast,
+    })
 
     benchmark.extra_info.update({
         name: {"outcome": reference[name]["outcome"],

@@ -10,7 +10,7 @@ Workload scale: 1/64 of the full case study (see EXPERIMENTS.md); rate
 
 from repro.system import run_case_study
 
-from conftest import publish
+from conftest import publish, wall_ms
 
 WINDOW = 800_000
 SCALE = 1 / 64
@@ -49,7 +49,15 @@ def test_fig4_isolation(benchmark):
         f"SC {results['dma_sc'].dma_rounds} "
         f"in {WINDOW} cycles)",
     ]
-    publish("fig4_isolation", "\n".join(rows))
+    elapsed = wall_ms(benchmark)
+    simulated = len(results) * WINDOW
+    publish("fig4_isolation", "\n".join(rows), metrics={
+        "wall_ms": elapsed,
+        "cycles_per_sec": (simulated / (elapsed / 1e3)
+                           if elapsed else None),
+        "speedup": dnn_hc / dnn_sc,   # HC vs SC frame rate (isolation)
+        "dma_ratio": dma_hc / dma_sc,
+    })
 
     benchmark.extra_info.update({
         "chaidnn_fps_hc": dnn_hc, "chaidnn_fps_sc": dnn_sc,

@@ -12,7 +12,7 @@ from repro.analysis import improvement
 from repro.platforms import ZCU102, ZYNQ_7020
 from repro.system import measure_access_time, measure_channel_latencies
 
-from conftest import publish
+from conftest import publish, wall_ms
 
 
 def _run_both_platforms():
@@ -46,7 +46,13 @@ def test_platform_similarity(benchmark):
         gains[name] = (word_gain, burst_gain)
         rows.append(f"{name:<12}{hc.ar}/{sc.ar:<11}{hc.r}/{sc.r:<10}"
                     f"{word_gain:>11.1%}{burst_gain:>13.1%}")
-    publish("platform_similarity", "\n".join(rows))
+    publish("platform_similarity", "\n".join(rows), metrics={
+        "wall_ms": wall_ms(benchmark),
+        # latency probes; headline: ZCU102 1-word HC-over-SC gain holds
+        "speedup": 1.0 / (1.0 - gains["ZCU102"][0]),
+        "gains": {name: {"word": word, "burst": burst}
+                  for name, (word, burst) in gains.items()},
+    })
     benchmark.extra_info.update(
         {name: {"word": word, "burst": burst}
          for name, (word, burst) in gains.items()})

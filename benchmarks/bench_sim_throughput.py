@@ -3,17 +3,27 @@
 Not a paper figure — this tracks the simulator's own speed (simulated
 cycles per host second) on two workloads:
 
-* the reference two-master contention system (every component busy, so
-  the quiescence fast path has little to skip) — pytest-benchmark rounds;
-* a latency-dominated single-word DMA read on the Fig. 3(a) topology,
-  measured under both kernel paths.  This is the workload class the fast
-  path exists for: after the ~330-cycle transaction the system is frozen
-  and the kernel bulk-skips the rest of the window.  The bench asserts
-  the >= 2x speedup promised in the fast path's acceptance criteria.
+* the reference two-master contention system, measured under BOTH kernel
+  paths with a warm best-of-N timer that excludes construction.  This
+  workload is fully saturated (one data beat moves on the shared bus
+  every cycle), so the event-heap fast path has nothing to freeze — the
+  section therefore tracks the raw per-cycle model cost and doubles as a
+  divergence check: both paths must produce byte-identical traffic.
+* a latency-dominated single-word DMA read on the Fig. 3(a) topology.
+  This is the workload class the fast path exists for: after the
+  ~330-cycle transaction the system is frozen and the kernel bulk-skips
+  the rest of the window.  The bench asserts the >= 2x speedup promised
+  in the fast path's acceptance criteria.
 
-Both sections are persisted to ``benchmarks/results/sim_throughput.txt``.
+Both sections are persisted to ``benchmarks/results/sim_throughput.txt``
+and, machine-readably, ``benchmarks/results/sim_throughput.json``.  The
+CI perf-smoke job runs this module with ``SIM_THROUGHPUT_CYCLES`` set to
+a short window and compares the sidecar against the committed
+``sim_throughput.baseline.json``.
 """
 
+import gc
+import os
 import time
 
 from repro.masters import AxiDma, GreedyTrafficGenerator
@@ -22,55 +32,103 @@ from repro.system import SocSystem
 
 from conftest import publish
 
-CYCLES = 20_000
+CYCLES = int(os.environ.get("SIM_THROUGHPUT_CYCLES", "20000"))
+ROUNDS = int(os.environ.get("SIM_THROUGHPUT_ROUNDS", "3"))
 WORD_READ_CYCLES = 50_000
 
 #: sections accumulated across this module's tests so the published
-#: sim_throughput.txt carries the full before/after record
+#: sim_throughput record carries the full before/after picture
 _SECTIONS = {}
+_METRICS = {}
 
 
 def _publish_all():
     order = ("contention", "fast-path")
     text = "\n".join(_SECTIONS[key] for key in order if key in _SECTIONS)
-    publish("sim_throughput", text)
+    contention = _METRICS.get("contention", {})
+    word_read = _METRICS.get("word_read", {})
+    publish("sim_throughput", text, metrics={
+        "wall_ms": contention.get("wall_ms"),
+        "cycles_per_sec": contention.get("reference"),
+        "speedup": word_read.get("speedup", contention.get("speedup")),
+        "contention": contention or None,
+        "word_read": word_read or None,
+    })
 
 
-def _build():
-    soc = SocSystem.build(ZCU102, n_ports=2, period=2048)
-    GreedyTrafficGenerator(soc.sim, "a", soc.port(0), job_bytes=8192,
-                           depth=4)
-    GreedyTrafficGenerator(soc.sim, "b", soc.port(1), job_bytes=8192,
-                           depth=4)
+def _build(fast=False):
+    soc = SocSystem.build(ZCU102, n_ports=2, period=2048, fast=fast)
+    a = GreedyTrafficGenerator(soc.sim, "a", soc.port(0), job_bytes=8192,
+                               depth=4)
+    b = GreedyTrafficGenerator(soc.sim, "b", soc.port(1), job_bytes=8192,
+                               depth=4)
     soc.driver.set_bandwidth_shares({0: 0.5, 1: 0.5})
-    return soc
+    return soc, a, b
+
+
+def _measure_contention(fast, rounds=ROUNDS):
+    """Warm best-of-N cycles/host-second, construction excluded.
+
+    Returns ``(cycles_per_sec, signature)`` where the signature captures
+    the traffic outcome so the two kernel paths can be diffed.
+    """
+    best = float("inf")
+    signature = None
+    for _ in range(rounds):
+        soc, a, b = _build(fast=fast)
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            soc.sim.run(CYCLES)
+            best = min(best, time.perf_counter() - started)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        outcome = (a.bytes_read, a.error_responses,
+                   b.bytes_read, b.error_responses)
+        assert signature is None or signature == outcome
+        signature = outcome
+    return CYCLES / best, signature
 
 
 def test_sim_throughput(benchmark):
     def run_window():
-        # building is part of the measured cost but is negligible next
-        # to 20k cycles of two saturating masters
-        soc = _build()
+        soc, __, __b = _build()
         soc.sim.run(CYCLES)
         return soc
 
-    soc = benchmark(run_window)
-    if benchmark.stats is None:
-        # --benchmark-disable (CI smoke mode): one manually timed window
-        started = time.perf_counter()
-        run_window()
-        mean = time.perf_counter() - started
-    else:
-        mean = benchmark.stats["mean"]
-    cycles_per_second = CYCLES / mean
+    benchmark(run_window)
+
+    # warm, construction-free A/B measurement of both kernel paths
+    reference, ref_signature = _measure_contention(fast=False)
+    fast, fast_signature = _measure_contention(fast=True)
+    assert fast_signature == ref_signature   # zero divergence
+    speedup = fast / reference
+
     _SECTIONS["contention"] = (
-        f"reference contention system: "
-        f"{cycles_per_second:,.0f} simulated cycles / host second\n"
-        f"(window {CYCLES} cycles, mean wall time {mean * 1e3:.1f} ms)")
+        f"reference contention system ({CYCLES} cycle window, saturated "
+        f"shared bus,\nbest of {ROUNDS} warm rounds, build excluded):\n"
+        f"  fast=False (reference): {reference:,.0f} cycles / host second\n"
+        f"  fast=True  (event heap): {fast:,.0f} cycles / host second "
+        f"({speedup:.2f}x)\n"
+        f"  traffic signature identical on both paths: {ref_signature}")
+    _METRICS["contention"] = {
+        "window_cycles": CYCLES,
+        "rounds": ROUNDS,
+        "reference": reference,
+        "fast": fast,
+        "speedup": speedup,
+        "wall_ms": CYCLES / reference * 1e3,
+        "signatures_equal": True,
+    }
     _publish_all()
     if benchmark.stats is not None:
-        benchmark.extra_info["cycles_per_second"] = cycles_per_second
-    assert cycles_per_second > 10_000   # sanity floor
+        benchmark.extra_info["cycles_per_second"] = reference
+    assert reference > 10_000   # sanity floor
+    # the saturated workload leaves the fast path nothing to skip; it
+    # must still stay within a modest constant factor of the reference
+    assert speedup > 0.5
 
 
 def _measure_word_read(fast: bool, rounds: int = 3) -> float:
@@ -98,6 +156,12 @@ def test_fast_path_speedup_on_latency_dominated_run():
         f"  fast=False (reference): {reference:,.0f} cycles / host second\n"
         f"  fast=True  (skipping):  {fast:,.0f} cycles / host second\n"
         f"  speedup: {speedup:.1f}x")
+    _METRICS["word_read"] = {
+        "window_cycles": WORD_READ_CYCLES,
+        "reference": reference,
+        "fast": fast,
+        "speedup": speedup,
+    }
     _publish_all()
     # the acceptance bar for the quiescence fast path
     assert speedup >= 2.0

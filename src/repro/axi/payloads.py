@@ -74,7 +74,7 @@ class Transaction:
                 f"addr=0x{self.address:x} len={self.length})")
 
 
-@dataclass
+@dataclass(slots=True)
 class AddrBeat:
     """One AR/AW request: the address phase of a burst."""
 
@@ -131,18 +131,22 @@ class AddrBeat:
                 f"addr=0x{self.address:x} len={self.length}{tag})")
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteBeat:
-    """One W data beat."""
+    """One W data beat.
+
+    Data-phase beats carry no ``stamps`` dict: only address beats are
+    timestamped by the interconnect stages (grant/forward/issue events all
+    happen on the address phase).
+    """
 
     last: bool
     data: Optional[bytes] = None
     strobe: Optional[int] = None   # byte-enable mask; None = all bytes
     addr_beat: Optional[AddrBeat] = None  # the (sub-)AW this beat belongs to
-    stamps: Dict[str, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class DataBeat:
     """One R data beat."""
 
@@ -151,17 +155,15 @@ class DataBeat:
     data: Optional[bytes] = None
     resp: Resp = Resp.OKAY
     addr_beat: Optional[AddrBeat] = None  # the (sub-)AR this beat answers
-    stamps: Dict[str, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class RespBeat:
     """One B write response."""
 
     txn_id: int = 0
     resp: Resp = Resp.OKAY
     addr_beat: Optional[AddrBeat] = None  # the (sub-)AW this acknowledges
-    stamps: Dict[str, int] = field(default_factory=dict)
 
 
 def make_read_request(txn: Transaction, txn_id: int,

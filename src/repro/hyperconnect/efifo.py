@@ -55,6 +55,11 @@ class GatedChannel(Channel):
             return False
         return super().can_push(count)
 
+    def try_push(self, item) -> bool:
+        if not self.gate.coupled:
+            return False
+        return super().try_push(item)
+
 
 class EFifoLink(AxiLink):
     """The eFIFO module of one HyperConnect slave port.

@@ -93,95 +93,129 @@ class Exbar(Component):
         self.flush_beats = 0     # null W beats injected for decoupled ports
 
     # ------------------------------------------------------------------
-    # arbitration (address channels)
-    # ------------------------------------------------------------------
-
-    def _arbitrate(self, inputs: List[Channel], pointer: int,
-                   output: Channel) -> tuple:
-        """One round-robin grant with fixed granularity of one transaction.
-
-        Returns ``(granted_beat, next_pointer)``; ``(None, pointer)`` when
-        nothing could be granted this cycle.
-        """
-        if not output.can_push():
-            return None, pointer
-        for offset in range(self.n_ports):
-            port = (pointer + offset) % self.n_ports
-            if inputs[port].can_pop():
-                beat = inputs[port].pop()
-                output.push(beat)
-                # granularity 1: the pointer moves past the granted port
-                return beat, (port + 1) % self.n_ports
-        return None, pointer
-
-    # ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        granted, self._rr_ar = self._arbitrate(self.ts_ar, self._rr_ar,
-                                               self.out_ar)
-        if granted is not None:
-            granted.stamps["exbar_grant"] = cycle
-            self.grants_ar += 1
-            self._route_r.append([granted.port, granted, granted.length])
-        granted, self._rr_aw = self._arbitrate(self.ts_aw, self._rr_aw,
-                                               self.out_aw)
-        if granted is not None:
-            granted.stamps["exbar_grant"] = cycle
-            self.grants_aw += 1
-            self._route_w.append([granted.port, granted, granted.length])
-            self._route_b.append(granted)
-        self._route_write_data(cycle)
-        self._route_read_data(cycle)
-        self._route_write_responses(cycle)
+        # Round-robin arbitration (one grant per address channel, fixed
+        # granularity of one transaction) is written out inline and the
+        # routing sub-steps are gated on their routing buffers: this tick
+        # runs every cycle of every saturated-bandwidth experiment, so
+        # call economy here is measurable end to end.
+        n_ports = self.n_ports
+        out = self.out_ar
+        if out.capacity is None or out._occupancy < out.capacity:
+            ts_ar = self.ts_ar
+            port = self._rr_ar
+            scan = n_ports
+            while scan:
+                scan -= 1
+                channel = ts_ar[port]
+                queue = channel._queue
+                if queue and queue[0][0] <= cycle:
+                    beat = channel.pop()
+                    out.push(beat)
+                    beat.stamps["exbar_grant"] = cycle
+                    # granularity 1: the pointer moves past the granted
+                    # port
+                    port += 1
+                    self._rr_ar = port if port < n_ports else 0
+                    self.grants_ar += 1
+                    self._route_r.append([beat.port, beat, beat.length])
+                    break
+                port += 1
+                if port >= n_ports:
+                    port = 0
+        out = self.out_aw
+        if out.capacity is None or out._occupancy < out.capacity:
+            ts_aw = self.ts_aw
+            port = self._rr_aw
+            scan = n_ports
+            while scan:
+                scan -= 1
+                channel = ts_aw[port]
+                queue = channel._queue
+                if queue and queue[0][0] <= cycle:
+                    beat = channel.pop()
+                    out.push(beat)
+                    beat.stamps["exbar_grant"] = cycle
+                    port += 1
+                    self._rr_aw = port if port < n_ports else 0
+                    self.grants_aw += 1
+                    self._route_w.append([beat.port, beat, beat.length])
+                    self._route_b.append(beat)
+                    break
+                port += 1
+                if port >= n_ports:
+                    port = 0
+        # the master-side guard of each router is hoisted here so a cycle
+        # with nothing to move costs attribute tests instead of calls
+        master = self.master_link
+        if self._route_w:
+            out = master.w
+            if out.capacity is None or out._occupancy < out.capacity:
+                self._route_write_data(cycle)
+        if self._route_r:
+            queue = master.r._queue
+            if queue and queue[0][0] <= cycle:
+                self._route_read_data(cycle)
+        if self._route_b:
+            queue = master.b._queue
+            if queue and queue[0][0] <= cycle:
+                self._route_write_responses(cycle)
 
     # ------------------------------------------------------------------
     # proactive data-path routing
     # ------------------------------------------------------------------
 
     def _route_write_data(self, cycle: int) -> None:
-        """Move one W beat from the granted port to the master side."""
-        if not self._route_w or not self.master_link.w.can_push():
-            return
+        """Move one W beat from the granted port to the master side.
+
+        Caller guarantees ``self._route_w`` is non-empty and the master W
+        channel has room; the remaining channel guards are inlined (see
+        the tick docstring).
+        """
+        master_w = self.master_link.w
         entry = self._route_w[0]
         port, sub, beats_left = entry
         link = self.ha_links[port]
-        if not link.coupled:
+        if not link.gate.coupled:
             # flush: complete the owed sub-burst with null beats so the
             # memory subsystem (and every other port) is never blocked by
             # a decoupled HA
             beat = WriteBeat(last=beats_left == 1, data=None, addr_beat=sub)
             self.flush_beats += 1
-        elif link.w.can_pop():
-            beat = link.w.pop()
+        else:
+            beat = link.w.try_pop()
+            if beat is None:
+                return
             beat.last = beats_left == 1
             beat.addr_beat = sub
-        else:
-            return
-        self.master_link.w.push(beat)
+        master_w.push(beat)
         entry[2] -= 1
         if entry[2] == 0:
             self._route_w.popleft()
 
     def _route_read_data(self, cycle: int) -> None:
-        """Route one R beat from the master side to its port."""
-        if not self.master_link.r.can_pop():
-            return
-        if not self._route_r:
-            return
+        """Route one R beat from the master side to its port.
+
+        Caller guarantees ``self._route_r`` is non-empty and the master R
+        head is visible this cycle.
+        """
+        master_r = self.master_link.r
+        beat = master_r._queue[0][1]
         entry = self._route_r[0]
         port, sub, beats_left = entry
         link = self.ha_links[port]
-        beat = self.master_link.r.front()
-        if link.coupled:
-            if not link.r.can_push():
+        if link.gate.coupled:
+            r = link.r
+            if r.capacity is not None and r._occupancy >= r.capacity:
                 return  # backpressure towards the memory side
-            self.master_link.r.pop()
+            master_r.pop()
             if beat.last and not sub.final_sub:
                 beat.last = False   # seam between merged sub-bursts
             beat.addr_beat = sub
-            link.r.push(beat)
+            r.push(beat)
         else:
-            self.master_link.r.pop()
+            master_r.pop()
             self.dropped_beats += 1
         entry[2] -= 1
         if entry[2] == 0:
@@ -189,23 +223,26 @@ class Exbar(Component):
             self.supervisors[port].note_read_complete()
 
     def _route_write_responses(self, cycle: int) -> None:
-        """Consume one B response, merging per the equalization rules."""
-        if not self.master_link.b.can_pop() or not self._route_b:
-            return
+        """Consume one B response, merging per the equalization rules.
+
+        Caller guarantees ``self._route_b`` is non-empty and the master B
+        head is visible this cycle.
+        """
+        master_b = self.master_link.b
+        response = master_b._queue[0][1]
         sub = self._route_b[0]
         port = sub.port
         link = self.ha_links[port]
         origin = sub.origin()
-        response = self.master_link.b.front()
-        if sub.final_sub and link.coupled:
+        if sub.final_sub and link.gate.coupled:
             if not link.b.can_push():
                 return
-            self.master_link.b.pop()
+            master_b.pop()
             merged = origin.resp_acc.merged_with(response.resp)
             link.b.push(RespBeat(txn_id=origin.txn_id, resp=merged,
                                  addr_beat=origin))
         else:
-            self.master_link.b.pop()
+            master_b.pop()
             origin.resp_acc = origin.resp_acc.merged_with(response.resp)
             if sub.final_sub:
                 self.dropped_beats += 1
@@ -244,6 +281,22 @@ class Exbar(Component):
             if not (sub.final_sub and link.coupled) or link.b.can_push():
                 return False
         return True
+
+    def wake_channels(self) -> list:
+        """Every channel whose activity can end the EXBAR's quiescence.
+
+        The EXBAR has no internal timers (``next_event_cycle`` stays
+        ``None``): its state only moves when a beat can transfer, which
+        requires activity on one of the channels below.  Gate flips
+        (couple/decouple) call :meth:`Simulator.wake` globally.
+        """
+        master = self.master_link
+        channels = [self.out_ar, self.out_aw, master.w, master.r, master.b]
+        channels.extend(self.ts_ar)
+        channels.extend(self.ts_aw)
+        for link in self.ha_links:
+            channels.extend((link.w, link.r, link.b))
+        return channels
 
     # ------------------------------------------------------------------
 

@@ -63,16 +63,39 @@ class MasterEFifo(Component):
         self.master_link = master_link
 
     def tick(self, cycle: int) -> None:
-        if self.in_ar.can_pop() and self.master_link.ar.can_push():
-            self.master_link.ar.push(self.in_ar.pop())
-        if self.in_aw.can_pop() and self.master_link.aw.can_push():
-            self.master_link.aw.push(self.in_aw.pop())
+        # channel guards inlined: the forwarder runs (or is polled) every
+        # cycle of every bandwidth experiment
+        in_ar = self.in_ar
+        queue = in_ar._queue
+        if queue and queue[0][0] <= cycle:
+            out = self.master_link.ar
+            if out.capacity is None or out._occupancy < out.capacity:
+                out.push(in_ar.pop())
+        in_aw = self.in_aw
+        queue = in_aw._queue
+        if queue and queue[0][0] <= cycle:
+            out = self.master_link.aw
+            if out.capacity is None or out._occupancy < out.capacity:
+                out.push(in_aw.pop())
 
     def is_quiescent(self, cycle: int) -> bool:
         """Stateless forwarder: only acts when a beat can move."""
-        return not (
-            (self.in_ar.can_pop() and self.master_link.ar.can_push())
-            or (self.in_aw.can_pop() and self.master_link.aw.can_push()))
+        queue = self.in_ar._queue
+        if queue and queue[0][0] <= cycle:
+            out = self.master_link.ar
+            if out.capacity is None or out._occupancy < out.capacity:
+                return False
+        queue = self.in_aw._queue
+        if queue and queue[0][0] <= cycle:
+            out = self.master_link.aw
+            if out.capacity is None or out._occupancy < out.capacity:
+                return False
+        return True
+
+    def wake_channels(self) -> list:
+        """Stateless: only channel activity can make a beat movable."""
+        return [self.in_ar, self.in_aw,
+                self.master_link.ar, self.master_link.aw]
 
 
 class HyperConnect:

@@ -236,3 +236,8 @@ class ControlSlave(Component):
         elif link.w.can_pop() and link.b.can_push():
             return False
         return True
+
+    def wake_channels(self) -> list:
+        """Stateless request server: all five control-link channels."""
+        link = self.link
+        return [link.ar, link.aw, link.w, link.r, link.b]

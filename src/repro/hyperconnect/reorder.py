@@ -215,6 +215,14 @@ class InOrderAdapter(Component):
             return False
         return True
 
+    def wake_channels(self) -> list:
+        """Both links' channels; the adapter has no internal timers —
+        every guard in :meth:`is_quiescent` reads channel state plus
+        bookkeeping that only :meth:`tick` itself mutates."""
+        up, down = self.upstream, self.downstream
+        return [up.ar, up.aw, up.w, up.r, up.b,
+                down.ar, down.aw, down.w, down.r, down.b]
+
     # ------------------------------------------------------------------
 
     @property

@@ -148,17 +148,29 @@ class TransactionSupervisor(Component):
     # ------------------------------------------------------------------
 
     def recharge(self) -> None:
-        """Synchronous budget recharge at the reservation period boundary."""
+        """Synchronous budget recharge at the reservation period boundary.
+
+        Called by the central unit from *its* tick — a cross-component
+        mutation the fast path cannot see through channels, so a sleeping
+        TS (e.g. budget-exhausted with nothing outstanding) is woken
+        explicitly.
+        """
         self.budget_remaining = self.config.budget
+        self.wake()
 
     def note_read_complete(self) -> None:
-        """A sub-read's last data beat was delivered (EXBAR callback)."""
+        """A sub-read's last data beat was delivered (EXBAR callback).
+
+        Direct cross-component call: outstanding counters gate issue, so
+        the TS is woken in case it slept on the outstanding limit.
+        """
         if self.outstanding_reads <= 0:
             raise ConfigurationError(
                 f"{self.name}: read completion with none outstanding")
         self.outstanding_reads -= 1
         if self._read_issue_cycles:
             self._read_issue_cycles.popleft()
+        self.wake()
 
     def note_write_complete(self) -> None:
         """A sub-write's response arrived (EXBAR callback)."""
@@ -168,6 +180,7 @@ class TransactionSupervisor(Component):
         self.outstanding_writes -= 1
         if self._write_issue_cycles:
             self._write_issue_cycles.popleft()
+        self.wake()
 
     # ------------------------------------------------------------------
 
@@ -408,27 +421,45 @@ class TransactionSupervisor(Component):
             if self._inflight_writes and link.b.can_push():
                 return False
             return True
-        if not self.coupled or not self.enabled:
+        link = self.ha_link
+        if not link.gate.coupled or not self.enabled:
             return True
-        deadline = self._watchdog_deadline()
-        if deadline is not None and cycle >= deadline:
-            return False
-        if not self._pending_ar and self.ha_link.ar.can_pop():
-            return False
-        if not self._pending_aw and self.ha_link.aw.can_pop():
-            return False
-        if self._pending_ar:
-            if not self._budget_available():
+        # channel and budget guards inlined: this predicate is the fast
+        # path's per-cycle poll of every supervisor, so it must cost less
+        # than the tick it elides
+        timeout = self.config.timeout_cycles
+        if timeout is not None:
+            if (self._read_issue_cycles
+                    and cycle >= self._read_issue_cycles[0] + timeout):
                 return False
-            if (self.outstanding_reads < self.config.max_outstanding
-                    and self.out_ar.can_push()):
+            if (self._write_issue_cycles
+                    and cycle >= self._write_issue_cycles[0] + timeout):
                 return False
-        if self._pending_aw:
-            if not self._budget_available():
+        pending_ar = self._pending_ar
+        if not pending_ar:
+            queue = link.ar._queue
+            if queue and queue[0][0] <= cycle:
                 return False
-            if (self.outstanding_writes < self.config.max_outstanding
-                    and self.out_aw.can_push()):
+        pending_aw = self._pending_aw
+        if not pending_aw:
+            queue = link.aw._queue
+            if queue and queue[0][0] <= cycle:
                 return False
+        budget = self.budget_remaining
+        if pending_ar:
+            if budget is not None and budget <= 0:
+                return False
+            if self.outstanding_reads < self.config.max_outstanding:
+                out = self.out_ar
+                if out.capacity is None or out._occupancy < out.capacity:
+                    return False
+        if pending_aw:
+            if budget is not None and budget <= 0:
+                return False
+            if self.outstanding_writes < self.config.max_outstanding:
+                out = self.out_aw
+                if out.capacity is None or out._occupancy < out.capacity:
+                    return False
         return True
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
@@ -440,6 +471,19 @@ class TransactionSupervisor(Component):
         if self.faulted or not self.coupled or not self.enabled:
             return None
         return self._watchdog_deadline()
+
+    def wake_channels(self) -> list:
+        """Channels whose activity can end the TS's quiescence.
+
+        Everything else that can un-quiesce a TS arrives through explicit
+        wakes: EXBAR completion callbacks and central-unit recharges call
+        :meth:`~repro.sim.Component.wake`, gate flips and register writes
+        call :meth:`Simulator.wake`, and the watchdog deadline rides the
+        wake heap via :meth:`next_event_cycle`.
+        """
+        link = self.ha_link
+        return [link.ar, link.aw, link.w, link.r, link.b,
+                self.out_ar, self.out_aw]
 
     def reset(self) -> None:
         self._pending_ar.clear()

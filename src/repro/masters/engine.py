@@ -33,9 +33,14 @@ from ..axi.payloads import (
     make_write_request,
 )
 from ..axi.port import AxiLink
+from ..axi.types import Resp
 from ..sim.component import Component
 from ..sim.errors import ConfigurationError
 from ..sim.stats import OnlineStats
+
+#: hoisted enum member: the R/B collectors test every beat's response
+#: against OKAY by identity before paying the ``is_error`` property call
+_RESP_OKAY = Resp.OKAY
 
 
 @dataclass
@@ -119,6 +124,9 @@ class AxiMasterEngine(Component):
         self._outstanding_reads: Deque[list] = deque()
         #: writes awaiting B, in AW order: (beat, job)
         self._outstanding_writes: Deque[tuple] = deque()
+        #: len(_outstanding_reads) + len(_outstanding_writes), maintained
+        #: incrementally: the outstanding limit is checked every cycle
+        self._n_outstanding = 0
         #: W beats to supply, in AW order
         self._write_data: Deque[WriteBeat] = deque()
         #: copy staging: bytes read but not yet re-issued as writes
@@ -254,17 +262,29 @@ class AxiMasterEngine(Component):
     # ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
-        if not self.active:
+        if not self._active:
             return
         # start queued jobs (keeping the issue queue shallow: one job's
         # bursts at a time plus the next job for pipelining)
-        while self._jobs and len(self._issue_queue) < 2 * self.burst_len:
-            self._prepare_job(self._jobs.popleft(), cycle)
-        self._issue_addresses(cycle)
-        self._supply_write_data(cycle)
-        self._collect_read_data(cycle)
-        self._collect_write_responses(cycle)
-        self._drain_copy_buffer(cycle)
+        if self._jobs:
+            while self._jobs and len(self._issue_queue) < 2 * self.burst_len:
+                self._prepare_job(self._jobs.popleft(), cycle)
+        # each sub-step call is gated on the cheap part of its own guard,
+        # so an idle step costs an attribute test instead of a call (the
+        # guards repeat inside the sub-steps, which subclasses override)
+        if self._issue_queue and self._n_outstanding < self.max_outstanding:
+            self._issue_addresses(cycle)
+        if self._write_data and cycle >= self._w_gap_until:
+            self._supply_write_data(cycle)
+        link = self.link
+        queue = link.r._queue
+        if queue and queue[0][0] <= cycle:
+            self._collect_read_data(cycle)
+        queue = link.b._queue
+        if queue and queue[0][0] <= cycle:
+            self._collect_write_responses(cycle)
+        if self._copy_buffer:
+            self._drain_copy_buffer(cycle)
 
     def is_quiescent(self, cycle: int) -> bool:
         """True when no tick sub-step could act this cycle.
@@ -278,16 +298,21 @@ class AxiMasterEngine(Component):
         if not self._active:
             return True
         link = self.link
-        if link.r.can_pop() or link.b.can_pop():
+        # inlined can_pop on the two hottest guards (polled every cycle
+        # the engine is awake)
+        queue = link.r._queue
+        if queue and queue[0][0] <= cycle:
+            return False
+        queue = link.b._queue
+        if queue and queue[0][0] <= cycle:
             return False
         if self._jobs and len(self._issue_queue) < 2 * self.burst_len:
             return False
         if self._copy_buffer:
             return False
         if self._issue_queue:
-            in_flight = (len(self._outstanding_reads)
-                         + len(self._outstanding_writes))
-            if in_flight < self.max_outstanding and self._ids.available():
+            if (self._n_outstanding < self.max_outstanding
+                    and self._ids.available()):
                 request, _job = self._issue_queue[0]
                 if request.is_read:
                     if link.ar.can_push():
@@ -305,6 +330,17 @@ class AxiMasterEngine(Component):
             return self._w_gap_until
         return None
 
+    def wake_channels(self) -> list:
+        """The engine's five AXI channels.
+
+        Every other un-quiescing input arrives through explicit wakes:
+        job enqueues, the ``active`` setter, and :meth:`reset` all call
+        :meth:`Simulator.wake`, and the W-gap timer rides the wake heap
+        via :meth:`next_event_cycle`.
+        """
+        link = self.link
+        return [link.ar, link.aw, link.w, link.r, link.b]
+
     # -- address issue --------------------------------------------------
 
     def _issue_addresses(self, cycle: int) -> None:
@@ -315,9 +351,7 @@ class AxiMasterEngine(Component):
             if not self._issue_queue:
                 break
             request, job = self._issue_queue[0]
-            in_flight = (len(self._outstanding_reads)
-                         + len(self._outstanding_writes))
-            if in_flight >= self.max_outstanding:
+            if self._n_outstanding >= self.max_outstanding:
                 break
             if not self._ids.available():
                 break
@@ -333,6 +367,7 @@ class AxiMasterEngine(Component):
                 self.link.ar.push(request)
                 self._outstanding_reads.append(
                     [request, request.length, job])
+                self._n_outstanding += 1
                 issued_ar = True
             else:
                 if issued_aw or not self.link.aw.can_push():
@@ -345,6 +380,7 @@ class AxiMasterEngine(Component):
                     job.started = cycle
                 self.link.aw.push(request)
                 self._outstanding_writes.append((request, job))
+                self._n_outstanding += 1
                 self._queue_write_beats(request)
                 issued_aw = True
 
@@ -366,14 +402,30 @@ class AxiMasterEngine(Component):
     def _supply_write_data(self, cycle: int) -> None:
         if cycle < self._w_gap_until:
             return
-        if self._write_data and self.link.w.can_push():
-            self.link.w.push(self._write_data.popleft())
+        write_data = self._write_data
+        if write_data and self.link.w.try_push(write_data[0]):
+            write_data.popleft()
             self._w_gap_until = cycle + self.w_beat_gap + 1
 
     def _collect_read_data(self, cycle: int) -> None:
-        if not self.link.r.can_pop():
+        # inlined Channel.try_pop: one beat per cycle at full bandwidth
+        # runs through here, so the pop is spelled out (the R channel is
+        # never gated — only the HA-driven AR/AW/W sides are)
+        r = self.link.r
+        queue = r._queue
+        if not queue or queue[0][0] > cycle:
             return
-        beat = self.link.r.pop()
+        __, beat = queue.popleft()
+        r._popped_this_cycle += 1
+        r.popped_total += 1
+        if not r._dirty:
+            r._dirty = True
+            sim = r._sim
+            sim._dirty_channels.append(r)
+            sim._quiescent_until = 0
+        if r._pop_listeners:
+            for callback in r._pop_listeners:
+                callback(cycle, beat)
         if not self._outstanding_reads:
             raise ConfigurationError(
                 f"{self.name}: R beat with no outstanding read")
@@ -382,10 +434,11 @@ class AxiMasterEngine(Component):
         txn = request.txn
         if txn is not None and txn.first_data is None:
             txn.first_data = cycle
-        if beat.resp.is_error:
+        resp = beat.resp
+        if resp is not _RESP_OKAY and resp.is_error:
             self.error_responses += 1
             if txn is not None:
-                txn.resp = txn.resp.merged_with(beat.resp)
+                txn.resp = txn.resp.merged_with(resp)
         entry[1] = beats_left - 1
         self.bytes_read += request.size_bytes
         job.read_bytes_done += request.size_bytes
@@ -397,6 +450,7 @@ class AxiMasterEngine(Component):
             self._copy_buffer.append((job, beat.data))
         if entry[1] == 0:
             self._outstanding_reads.popleft()
+            self._n_outstanding -= 1
             self._ids.release(request.txn_id)
             if txn is not None:
                 txn.last_data = cycle
@@ -407,15 +461,17 @@ class AxiMasterEngine(Component):
                 self._maybe_finish(job, cycle)
 
     def _collect_write_responses(self, cycle: int) -> None:
-        if not self.link.b.can_pop():
+        response = self.link.b.try_pop()
+        if response is None:
             return
-        response = self.link.b.pop()
         if not self._outstanding_writes:
             raise ConfigurationError(
                 f"{self.name}: B response with no outstanding write")
         request, job = self._outstanding_writes.popleft()
+        self._n_outstanding -= 1
         self._ids.release(request.txn_id)
-        if response.resp.is_error:
+        resp = response.resp
+        if resp is not _RESP_OKAY and resp.is_error:
             self.error_responses += 1
         txn = request.txn
         if txn is not None:
@@ -475,6 +531,7 @@ class AxiMasterEngine(Component):
         self._issue_queue.clear()
         self._outstanding_reads.clear()
         self._outstanding_writes.clear()
+        self._n_outstanding = 0
         self._write_data.clear()
         self._copy_buffer.clear()
         self._w_gap_until = 0

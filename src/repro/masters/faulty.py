@@ -148,9 +148,8 @@ class FaultInjectingMaster(AxiMasterEngine):
         if self._copy_buffer:
             return False
         if self._issue_queue:
-            in_flight = (len(self._outstanding_reads)
-                         + len(self._outstanding_writes))
-            if in_flight < self.max_outstanding and self._ids.available():
+            if (self._n_outstanding < self.max_outstanding
+                    and self._ids.available()):
                 request, _job = self._issue_queue[0]
                 if request.is_read:
                     if link.ar.can_push():

@@ -53,7 +53,7 @@ class DramTiming:
             raise ConfigurationError("DRAM latencies must be >= 1 cycle")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Command:
     """One queued burst command."""
 
@@ -152,34 +152,42 @@ class MemorySubsystem(Component):
     # ------------------------------------------------------------------
 
     def tick(self, cycle: int) -> None:
+        link = self.link
+        commands = self._commands
         # 1. ingest at most one address beat per channel per cycle while
         #    the command queue has room (AR before AW: a fixed,
-        #    documented tie-break for determinism).
-        if (len(self._commands) < self.command_depth
-                and self.link.ar.can_pop()):
-            beat = self.link.ar.pop()
-            self._commands.append(
-                _Command(True, beat, cycle, beat.length))
-        if (len(self._commands) < self.command_depth
-                and self.link.aw.can_pop()):
-            beat = self.link.aw.pop()
-            self._commands.append(
-                _Command(False, beat, cycle, beat.length))
+        #    documented tie-break for determinism).  The channel-head
+        #    visibility guards are inlined: this tick runs every cycle of
+        #    every bandwidth experiment.
+        if len(commands) < self.command_depth:
+            queue = link.ar._queue
+            if queue and queue[0][0] <= cycle:
+                beat = link.ar.pop()
+                commands.append(_Command(True, beat, cycle, beat.length))
+            if len(commands) < self.command_depth:
+                queue = link.aw._queue
+                if queue and queue[0][0] <= cycle:
+                    beat = link.aw.pop()
+                    commands.append(
+                        _Command(False, beat, cycle, beat.length))
         # 2. ingest one write-data beat per cycle
-        if self.link.w.can_pop():
-            self._write_beats.append(self.link.w.pop())
+        queue = link.w._queue
+        if queue and queue[0][0] <= cycle:
+            self._write_beats.append(link.w.pop())
         # 3. pick the next command when idle
-        if self._current is None and self._commands:
-            self._current = self._take_next_command(cycle)
-            self._start_command(self._current, cycle)
+        current = self._current
+        if current is None and commands:
+            current = self._current = self._take_next_command(cycle)
+            self._start_command(current, cycle)
         # 4. stream one data beat of the current command
-        if self._current is not None:
-            self._advance(self._current, cycle)
+        if current is not None:
+            self._advance(current, cycle)
         # 5. emit one due write response per cycle
-        if self._pending_b and self._pending_b[0][0] <= cycle:
-            if self.link.b.can_push():
-                __, resp = self._pending_b.pop(0)
-                self.link.b.push(resp)
+        pending = self._pending_b
+        if pending and pending[0][0] <= cycle:
+            if link.b.can_push():
+                __, resp = pending.pop(0)
+                link.b.push(resp)
 
     def is_quiescent(self, cycle: int) -> bool:
         """True when no tick step could act: nothing to ingest, no command
@@ -224,6 +232,14 @@ class MemorySubsystem(Component):
                 horizon = due
         return horizon
 
+    def wake_channels(self) -> list:
+        """All quiescence inputs are states of the served link's channels
+        (poppable AR/AW/W, pushable R/B); the access-latency window and
+        due responses are internal timers covered by
+        :meth:`next_event_cycle`."""
+        link = self.link
+        return [link.ar, link.aw, link.w, link.r, link.b]
+
     # ------------------------------------------------------------------
 
     def _take_next_command(self, cycle: int) -> _Command:
@@ -242,14 +258,15 @@ class MemorySubsystem(Component):
             return
         beat_bytes = command.beat.size_bytes
         if command.is_read:
-            if not self.link.r.can_push():
+            r = self.link.r
+            if r.capacity is not None and r._occupancy >= r.capacity:
                 return  # backpressured: the bus slot is lost
             data = None
             if self.store is not None:
                 data = self.store.read(command.current_address(),
                                        beat_bytes)
             command.beats_left -= 1
-            self.link.r.push(DataBeat(
+            r.push(DataBeat(
                 last=command.beats_left == 0,
                 txn_id=command.beat.txn_id,
                 data=data,
@@ -270,7 +287,9 @@ class MemorySubsystem(Component):
                              resp=Resp.OKAY,
                              addr_beat=command.beat),
                 ))
-        command.step_address()
+        # inlined step_address (one call per served beat otherwise)
+        command.beat_index += 1
+        command.address_cursor += beat_bytes
         self.beats_served += 1
         if command.beats_left == 0:
             if command.is_read:

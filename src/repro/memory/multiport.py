@@ -197,6 +197,14 @@ class MultiPortMemorySubsystem(Component):
                 horizon = due
         return horizon
 
+    def wake_channels(self) -> list:
+        """Every served link's five channels; internal timers (data start,
+        B release) are covered by :meth:`next_event_cycle`."""
+        channels = []
+        for link in self.links:
+            channels.extend((link.ar, link.aw, link.w, link.r, link.b))
+        return channels
+
     # ------------------------------------------------------------------
 
     def idle(self) -> bool:

@@ -7,6 +7,7 @@ order-independent clocked simulator in which hardware modules are
 """
 
 from .channel import Channel, UNBOUNDED
+from .commit import CommitCohorts
 from .component import Component
 from .errors import (
     ChannelError,
@@ -24,6 +25,7 @@ from .stats import (
     RateCounter,
 )
 from .trace import TraceEvent, Tracer
+from .wakeheap import WakeHeap
 
 __all__ = [
     "Channel",
@@ -44,4 +46,6 @@ __all__ = [
     "RateCounter",
     "TraceEvent",
     "Tracer",
+    "CommitCohorts",
+    "WakeHeap",
 ]

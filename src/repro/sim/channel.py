@@ -62,11 +62,14 @@ class Channel:
         "_queue",
         "_staged",
         "_popped_this_cycle",
+        "_occupancy",
         "_dirty",
         "pushed_total",
         "popped_total",
         "_push_listeners",
         "_pop_listeners",
+        "_watchers",
+        "_index",
     )
 
     def __init__(self, sim, name: str, latency: int = 1,
@@ -88,6 +91,11 @@ class Channel:
         self._staged: List[Any] = []
         #: items popped this cycle (their slot frees only at commit)
         self._popped_this_cycle = 0
+        #: running ``len(_queue) + _popped_this_cycle + len(_staged)``,
+        #: maintained incrementally so backpressure checks are a single
+        #: integer compare (pops leave it unchanged until commit frees
+        #: the slots — registered-full semantics)
+        self._occupancy = 0
         #: activity flag: True while the channel has uncommitted work
         #: (staged pushes or pop accounting) and is queued for commit.
         #: Committing a clean channel is provably a no-op, so the kernel
@@ -100,6 +108,11 @@ class Channel:
         #: mutate the channel.
         self._push_listeners: List[Any] = []
         self._pop_listeners: List[Any] = []
+        #: components to wake when this channel commits activity (built by
+        #: the kernel from Component.wake_channels declarations)
+        self._watchers: tuple = ()
+        #: stable index into the kernel's commit-cohort buffers
+        self._index = -1
         sim._register_channel(self)
 
     # ------------------------------------------------------------------
@@ -125,27 +138,52 @@ class Channel:
         freed by pops during the current cycle do not count until the next
         cycle (registered-full semantics).
         """
-        if self.capacity is None:
-            return True
-        occupied = (len(self._queue) + self._popped_this_cycle
-                    + len(self._staged))
-        return occupied + count <= self.capacity
+        capacity = self.capacity
+        return capacity is None or self._occupancy + count <= capacity
 
     def push(self, item: Any) -> None:
         """Stage ``item`` for delivery ``latency`` cycles from now."""
-        if not self.can_push():
+        capacity = self.capacity
+        if capacity is not None and self._occupancy >= capacity:
             raise ChannelError(
                 f"push to full channel {self.name!r} "
                 f"(capacity={self.capacity}) at cycle {self._sim.now}")
         self._staged.append(item)
+        self._occupancy += 1
         self.pushed_total += 1
         if not self._dirty:
             self._dirty = True
-            self._sim._mark_dirty(self)
+            sim = self._sim
+            sim._dirty_channels.append(self)
+            sim._quiescent_until = 0
         if self._push_listeners:
-            now = self._sim.now
+            now = self._sim._cycle
             for callback in self._push_listeners:
                 callback(now, item)
+
+    def try_push(self, item: Any) -> bool:
+        """Push ``item`` if it fits this cycle; return whether it did.
+
+        Single-check fast path for the common ``if can_push(): push()``
+        idiom: the fullness check and the stage are one operation, with
+        identical registered-full semantics.
+        """
+        capacity = self.capacity
+        if capacity is not None and self._occupancy >= capacity:
+            return False
+        self._staged.append(item)
+        self._occupancy += 1
+        self.pushed_total += 1
+        if not self._dirty:
+            self._dirty = True
+            sim = self._sim
+            sim._dirty_channels.append(self)
+            sim._quiescent_until = 0
+        if self._push_listeners:
+            now = self._sim._cycle
+            for callback in self._push_listeners:
+                callback(now, item)
+        return True
 
     def amend_staged(self, mutate) -> bool:
         """Apply ``mutate(item)`` to the most recently staged item.
@@ -172,7 +210,22 @@ class Channel:
 
     def can_pop(self) -> bool:
         """Return ``True`` if an item is visible at the current cycle."""
-        return bool(self._queue) and self._queue[0][0] <= self._sim.now
+        queue = self._queue
+        return bool(queue) and queue[0][0] <= self._sim._cycle
+
+    def peek(self) -> Any:
+        """The head item if one is visible this cycle, else ``None``.
+
+        Single-check fast path for the ``if can_pop(): front()`` idiom.
+        Only usable where a ``None`` payload cannot occur (true for all
+        AXI beat traffic, whose payloads are beat objects).
+        """
+        queue = self._queue
+        if queue:
+            ready, item = queue[0]
+            if ready <= self._sim._cycle:
+                return item
+        return None
 
     def front(self) -> Any:
         """Return (without removing) the item at the head of the queue."""
@@ -193,9 +246,34 @@ class Channel:
         self.popped_total += 1
         if not self._dirty:
             self._dirty = True
-            self._sim._mark_dirty(self)
+            sim = self._sim
+            sim._dirty_channels.append(self)
+            sim._quiescent_until = 0
         if self._pop_listeners:
-            now = self._sim.now
+            now = self._sim._cycle
+            for callback in self._pop_listeners:
+                callback(now, item)
+        return item
+
+    def try_pop(self) -> Any:
+        """Pop and return the head item if visible, else ``None``.
+
+        Single-check fast path for ``if can_pop(): pop()``; the same
+        ``None``-payload caveat as :meth:`peek` applies.
+        """
+        queue = self._queue
+        if not queue or queue[0][0] > self._sim._cycle:
+            return None
+        __, item = queue.popleft()
+        self._popped_this_cycle += 1
+        self.popped_total += 1
+        if not self._dirty:
+            self._dirty = True
+            sim = self._sim
+            sim._dirty_channels.append(self)
+            sim._quiescent_until = 0
+        if self._pop_listeners:
+            now = self._sim._cycle
             for callback in self._pop_listeners:
                 callback(now, item)
         return item
@@ -211,7 +289,7 @@ class Channel:
     @property
     def occupancy(self) -> int:
         """Start-of-cycle occupancy used for backpressure decisions."""
-        return len(self._queue) + self._popped_this_cycle + len(self._staged)
+        return self._occupancy
 
     @property
     def is_idle(self) -> bool:
@@ -230,6 +308,7 @@ class Channel:
         self._queue.clear()
         self._staged.clear()
         self._popped_this_cycle = 0
+        self._occupancy = 0
         if not self._dirty:
             self._dirty = True
             self._sim._mark_dirty(self)
@@ -259,6 +338,7 @@ class Channel:
             for item in self._staged:
                 self._queue.append((ready, item))
             self._staged.clear()
+        self._occupancy -= self._popped_this_cycle
         self._popped_this_cycle = 0
         self._dirty = False
 

@@ -19,6 +19,16 @@ class Component:
     def __init__(self, sim, name: str) -> None:
         self.sim = sim
         self.name = name
+        # Kernel-managed scheduling state (see Simulator._rebuild_wiring):
+        # whether the fast path may put this component to sleep, whether it
+        # is currently asleep, and the poll-backoff stride mask / miss
+        # counter.  Kept as plain attributes for speed; components never
+        # touch them.
+        self._k_sleepable = False
+        self._k_asleep = False
+        self._k_mask = 0
+        self._k_miss = 0
+        self._k_quiet = 0
         sim._register_component(self)
 
     # ------------------------------------------------------------------
@@ -68,6 +78,43 @@ class Component:
         is always safe (it merely shortens the skip).
         """
         return None
+
+    def wake_channels(self) -> "list | None":
+        """Channels whose activity can end this component's quiescence.
+
+        The fast kernel path uses this to let a component *sleep*: once
+        it reports quiescent, it is neither polled nor ticked again until
+        one of the returned channels commits activity, its
+        :meth:`next_event_cycle` hint comes due on the wake heap, or an
+        explicit :meth:`wake` / :meth:`Simulator.wake` arrives.
+
+        Returning a list is therefore a stronger promise than
+        :meth:`is_quiescent` alone: *while quiescent, every input that
+        could make the next tick a non-no-op is either a commit on one of
+        these channels, an event at* ``next_event_cycle()``, *or an
+        external mutation that calls* :meth:`wake`.  In particular,
+        ``next_event_cycle`` must be complete whenever ``is_quiescent``
+        is true — not only when the whole system is frozen.
+
+        The default ``None`` opts out: the component is polled every
+        cycle, exactly as before this protocol existed.  An empty list is
+        valid and means "timer/wake-driven only" (e.g. a pure countdown
+        component).  The kernel reads this once per wiring rebuild, after
+        construction is complete, so implementations may reference
+        attributes set by subclass constructors.
+        """
+        return None
+
+    def wake(self) -> None:
+        """Wake this component if the fast kernel path put it to sleep.
+
+        The targeted counterpart of :meth:`Simulator.wake`: any code that
+        mutates this component's state from outside its own ``tick`` —
+        another component's direct method call, a driver API, an event
+        handler — must call this (or the global wake) so a sleeping
+        component is re-polled.  Spurious calls are safe and cheap.
+        """
+        self.sim._wake_component(self)
 
     def reset(self) -> None:
         """Return the component to its power-on state.

@@ -25,24 +25,61 @@ change state, while keeping results bit-identical to the reference path:
 * **Tick skipping** — before ticking a component the kernel polls
   :meth:`~repro.sim.Component.is_quiescent`; a ``True`` answer is a strict
   promise that ``tick`` would be a pure no-op *this* cycle, so the call is
-  elided.  The poll repeats every simulated cycle against current channel
-  state, so a skipped component is reconsidered as soon as anything changes.
-* **Bulk skipping (frozen horizons)** — when *every* component is quiescent
-  and no channel has uncommitted work, the system state is frozen: no tick
-  ran, so nothing can have mutated.  The only future wake-up sources are
-  in-flight channel items (their ready cycles are known) and component
-  internal timers (reported via
-  :meth:`~repro.sim.Component.next_event_cycle`).  The kernel computes the
-  earliest such cycle once and then advances the clock in bulk up to it,
+  elided.
+* **Component sleep** — a component that declares its wake sources via
+  :meth:`~repro.sim.Component.wake_channels` is put to *sleep* when it
+  reports quiescent: it is neither polled nor ticked again until one of its
+  wake channels commits activity, its
+  :meth:`~repro.sim.Component.next_event_cycle` hint comes due on the wake
+  heap, or an explicit wake arrives.  Components that do not opt in are
+  polled every cycle, exactly as before.
+* **Poll backoff** — a component that keeps answering "not quiescent" is
+  evidently busy; after eight *net* misses (each miss counts one up, each
+  quiescent answer decays one down, so components that are busy most —
+  not all — cycles still accumulate) the kernel stops polling it and
+  ticks it unconditionally, re-polling only on stride-aligned cycles
+  (stride doubling 8 → 64).  A quiescent answer on a stride poll halves
+  the stride rather than clearing it, so a briefly-idle hot component
+  does not bounce straight back to per-cycle polling.  Ticking a
+  quiescent component is always sound (the reference path does nothing
+  else), so this trades at most a few bounded-delay cycles of freeze
+  entry for the poll cost of hot components.
+* **Bulk skipping (frozen horizons)** — when no tick ran and no channel has
+  uncommitted work, the system state is frozen: the kernel computes the
+  earliest future wake event and advances the clock in bulk up to it,
   touching nothing.
+
+Event-heap wake scheduling
+--------------------------
+
+Future wake events live on a lazily-invalidated min-heap
+(:class:`~repro.sim.wakeheap.WakeHeap`) instead of being rediscovered by
+scanning every channel and component per freeze:
+
+* a sleeping component's ``next_event_cycle`` hint is pushed when it goes
+  to sleep;
+* a committed channel head whose ready cycle lies more than one cycle in
+  the future (only possible with ``latency > 1``) is pushed at commit time;
+  unit-latency traffic is covered by the commit-time wake of the channel's
+  watchers, so hot channels never touch the heap;
+* each polled cycle the kernel pops the due entries and wakes their
+  subjects; a frozen horizon is simply the heap minimum combined with the
+  fresh hints of the components that are still awake.
 
 Determinism is preserved by construction: a frozen horizon is only entered
 when zero ticks ran in the preceding cycle, so there is no state a skipped
-cycle could have observed or changed.  External mutations between kernel
-calls (e.g. enqueueing a DMA job) invalidate the cached horizon because
-every public entry point resets it, every channel push/pop/clear marks the
-channel dirty, and components whose configuration is mutated from outside a
-tick call :meth:`Simulator.wake`.
+cycle could have observed or changed, and a sleeping component's inputs are
+exactly its wake channels, its own timer, and explicit wakes.  External
+mutations between kernel calls (e.g. enqueueing a DMA job) invalidate the
+cached horizon *and* wake every sleeper because every public entry point
+calls :meth:`Simulator.wake`; targeted cross-component mutations (a direct
+method call outside ``tick``) call :meth:`Component.wake`.
+
+Channel commits go through :class:`~repro.sim.commit.CommitCohorts`:
+channels are grouped into latency cohorts with index-set dirty bookkeeping,
+and large dirty sets stamp their ready cycles through preallocated numpy
+buffers (pure-Python batch otherwise).  Semantics are identical to the
+reference path's per-channel ``_commit``.
 
 Contract for ``run_until`` predicates: they are sampled at ``check_every``
 granularity on both paths and must be observational.  Predicates that pop
@@ -58,14 +95,36 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from .channel import Channel
+from .commit import _BULK_THRESHOLD, CommitCohorts
 from .component import Component
 from .errors import SimulationError
 from .events import EventBus
 from .stats import KernelSkipStats
+from .wakeheap import WakeHeap
 
 #: Horizon value meaning "no wake-up source known" (frozen indefinitely;
 #: callers clamp to their own end-of-run bound).
 _FOREVER = float("inf")
+
+#: net non-quiescent polls (misses count up, quiescent answers decay one
+#: down) before a component enters poll backoff
+_BACKOFF_AFTER = 8
+#: initial and maximum backoff stride masks (stride - 1; power-of-two
+#: strides aligned to absolute cycle numbers so every backed-off component
+#: re-polls on a common boundary and freezes are delayed boundedly)
+_BACKOFF_MASK_FIRST = 0x7
+_BACKOFF_MASK_MAX = 0x3F
+
+#: consecutive quiescent polls before a sleep-capable component actually
+#: sleeps.  Sleeping is not free — it computes a hint, may push a heap
+#: entry, and the eventual wake walks the watcher list — so a component
+#: that merely idles between bursts of work (a master waiting out
+#: another port's service window, a supervisor between sub-request
+#: forwards) is cheaper to keep polling than to bounce in and out of
+#: sleep.  The threshold is sized past the longest such natural gap
+#: (a nominal burst service window) so only genuinely idle components
+#: pay the sleep/wake round trip.
+_SLEEP_AFTER = 32
 
 
 class Simulator:
@@ -112,6 +171,21 @@ class Simulator:
         #: :mod:`repro.sim.events`); components publish, the hypervisor
         #: and observers subscribe.
         self.events = EventBus()
+        #: future wake events (sleeping components' hints, far-future
+        #: channel heads)
+        self._wakeheap = WakeHeap()
+        #: latency-cohort commit engine (rebuilt with the wiring)
+        self._cohorts = CommitCohorts(self, [])
+        #: tri-state numpy override for the commit cohorts (tests force
+        #: the pure-Python batch path by setting this to False)
+        self._commit_numpy: Optional[bool] = None
+        #: scheduling wiring (watcher lists, cohort indices, sleep
+        #: capability) must be rebuilt before the next fast cycle
+        self._wiring_stale = True
+        #: components currently eligible for polling, in stable insertion
+        #: order (dict-as-ordered-set), and the complementary sleep set
+        self._awake: Dict[Component, bool] = {}
+        self._asleep: Dict[Component, bool] = {}
 
     # ------------------------------------------------------------------
     # registration (called from Component / Channel constructors)
@@ -122,12 +196,14 @@ class Simulator:
         self._components.append(component)
         self._names[component.name] = component
         self._quiescent_until = 0
+        self._wiring_stale = True
 
     def _register_channel(self, channel: Channel) -> None:
         self._check_name(channel.name)
         self._channels.append(channel)
         self._names[channel.name] = channel
         self._quiescent_until = 0
+        self._wiring_stale = True
 
     def _check_name(self, name: str) -> None:
         if name in self._names:
@@ -140,14 +216,37 @@ class Simulator:
         self._quiescent_until = 0
 
     def wake(self) -> None:
-        """Invalidate any cached quiescence horizon.
+        """Invalidate any cached quiescence horizon and wake all sleepers.
 
         Components whose externally-callable API mutates state outside a
         tick (job enqueues, gate decoupling, configuration writes) call
         this so the fast path re-polls everything on the next cycle.
-        Calling it spuriously is always safe — it only costs one poll.
+        Calling it spuriously is always safe — it only costs one poll
+        round.  Woken components whose hints changed re-schedule fresh
+        heap entries when they next sleep; superseded entries go stale
+        and are dropped by the heap.
         """
         self._quiescent_until = 0
+        asleep = self._asleep
+        if asleep:
+            awake = self._awake
+            heap = self._wakeheap
+            for component in asleep:
+                component._k_asleep = False
+                component._k_quiet = 0
+                awake[component] = True
+                heap.invalidate(component)
+            asleep.clear()
+
+    def _wake_component(self, component: Component) -> None:
+        """Wake one sleeping component (see :meth:`Component.wake`)."""
+        self._quiescent_until = 0
+        if component._k_asleep:
+            component._k_asleep = False
+            component._k_quiet = 0
+            del self._asleep[component]
+            self._awake[component] = True
+            self._wakeheap.invalidate(component)
 
     # ------------------------------------------------------------------
     # time
@@ -175,7 +274,7 @@ class Simulator:
                 f"simulator {self.name!r} stepped after finish()")
         self._quiescent_until = 0
         if self.fast:
-            self._polled_cycle()
+            self._run_fast(self._cycle + 1)
         else:
             self._reference_cycle()
 
@@ -191,84 +290,253 @@ class Simulator:
             dirty.clear()
         self._cycle = cycle + 1
 
-    def _polled_cycle(self) -> None:
-        """One cycle with quiescence polling (fast path).
+    def _rebuild_wiring(self) -> None:
+        """(Re)derive the fast path's scheduling structures.
 
-        Ticks only non-quiescent components; if *nothing* ticked and no
+        Runs lazily at the start of the next fast cycle after any
+        component/channel registration, never at construction time —
+        :meth:`Component.wake_channels` may reference attributes that
+        only exist once the subclass constructor finished.  A rebuild
+        wakes every component (new arrivals start awake, sleepers
+        re-poll and re-sleep with fresh hints) and re-seeds the heap
+        with any in-flight far-future channel heads.
+        """
+        heap = self._wakeheap
+        heap.clear()
+        self._awake = {}
+        self._asleep = {}
+        cycle = self._cycle
+        for channel in self._channels:
+            channel._watchers = ()
+            queue = channel._queue
+            if queue and queue[0][0] > cycle + 1:
+                heap.push(channel, queue[0][0])
+        watcher_lists: Dict[Channel, List[Component]] = {}
+        for component in self._components:
+            component._k_asleep = False
+            component._k_mask = 0
+            component._k_miss = 0
+            component._k_quiet = 0
+            declared = component.wake_channels()
+            component._k_sleepable = declared is not None
+            self._awake[component] = True
+            if declared:
+                for channel in declared:
+                    watcher_lists.setdefault(channel, []).append(component)
+        for channel, watchers in watcher_lists.items():
+            channel._watchers = tuple(watchers)
+        self._cohorts = CommitCohorts(self, self._channels,
+                                      use_numpy=self._commit_numpy)
+        self._wiring_stale = False
+
+    def _wake_due(self, cycle: int) -> None:
+        """Pop due heap entries and wake their subjects.
+
+        Component entries re-enter the awake set; channel entries wake
+        the channel's watchers and are revalidated — if the head is
+        somehow still in the future (a stale entry that fired early),
+        the channel is rescheduled at the true ready cycle.
+        """
+        stats = self.skip_stats
+        awake = self._awake
+        asleep = self._asleep
+        heap = self._wakeheap
+        for subject in heap.pop_due(cycle):
+            stats.heap_pops += 1
+            watchers = getattr(subject, "_watchers", None)
+            if watchers is None:
+                # a component's next_event_cycle hint came due
+                if subject._k_asleep:
+                    subject._k_asleep = False
+                    subject._k_quiet = 0
+                    del asleep[subject]
+                    awake[subject] = True
+            else:
+                for component in watchers:
+                    if component._k_asleep:
+                        component._k_asleep = False
+                        component._k_quiet = 0
+                        del asleep[component]
+                        awake[component] = True
+                queue = subject._queue
+                if queue and queue[0][0] > cycle:
+                    if heap.push(subject, queue[0][0]):
+                        stats.heap_pushes += 1
+
+    def _run_fast(self, end: int) -> None:
+        """Run polled cycles up to ``end``, bulk-skipping frozen spans.
+
+        The single inner loop of the fast path — ``run``, ``run_until``
+        and ``step`` all funnel here, so there is exactly one copy of the
+        cycle semantics.  Per-cycle overhead is amortized across the
+        window: loop-invariant objects are hoisted into locals (all of
+        them mutated in place, never replaced, so the bindings stay
+        valid across ``_rebuild_wiring``), the small-dirty-set commit is
+        inlined rather than dispatched through
+        :meth:`CommitCohorts.flush`, and the skip statistics accumulate
+        in plain integers folded into :attr:`skip_stats` once per window
+        (the ``finally`` keeps them truthful if a component raises
+        mid-window).
+
+        Within a polled cycle the kernel wakes due heap subjects, then
+        iterates the full registration list, skipping sleepers by flag,
+        instead of snapshotting the awake set: components must tick in
+        registration order (the reference path's order) because direct
+        cross-component calls (e.g. EXBAR completion notifications into
+        a TS, or the recovery agent re-coupling a gate) are observable
+        within the same cycle — and a sleeper woken by an earlier
+        component mid-loop must still be reached *this* cycle, exactly
+        as the reference path would tick it.  If nothing ticked and no
         channel has uncommitted work, the system is frozen and the cycle
         at which it may change again is cached in ``_quiescent_until``.
         """
-        cycle = self._cycle
         stats = self.skip_stats
-        all_quiescent = True
-        ticks_run = 0
-        ticks_skipped = 0
-        for component in self._components:
-            if component.is_quiescent(cycle):
-                ticks_skipped += 1
-            else:
-                all_quiescent = False
-                component.tick(cycle)
-                ticks_run += 1
+        heap = self._wakeheap
+        heap_list = heap._heap
+        heap_push = heap.push
+        components = self._components
         dirty = self._dirty_channels
-        if dirty:
-            for channel in dirty:
-                channel._commit(cycle)
-            dirty.clear()
-        elif all_quiescent:
-            self._quiescent_until = self._horizon(cycle)
-            stats.horizon_scans += 1
-        stats.ticks_run += ticks_run
-        stats.ticks_skipped += ticks_skipped
-        stats.cycles_polled += 1
-        stats.cycles_total += 1
-        self._cycle = cycle + 1
-
-    def _horizon(self, cycle: int) -> float:
-        """Earliest future cycle at which the frozen system may change.
-
-        Minimum over (a) the ready cycles of in-flight channel items and
-        (b) the internal-timer hints of the (all-quiescent) components.
-        Returns at least ``cycle + 1``; returns ``inf`` when no wake-up
-        source exists (permanently idle until external input).
-        """
-        horizon = _FOREVER
-        for channel in self._channels:
-            wake = channel.next_wake_cycle(cycle)
-            if wake is not None and wake < horizon:
-                horizon = wake
-        for component in self._components:
-            hint = component.next_event_cycle(cycle)
-            if hint is not None and hint < horizon:
-                horizon = hint
-        if horizon <= cycle:
-            # A stale or conservative hint pointing at the present cannot
-            # freeze anything; fall back to single-cycle progress.
-            return cycle + 1
-        return horizon
+        wake = self._wake_component
+        ran_total = 0
+        skipped = 0
+        slept = 0
+        polled = 0
+        frozen = 0
+        batches = 0
+        committed = 0
+        heap_pushes = 0
+        try:
+            while self._cycle < end:
+                if self._finished:
+                    raise SimulationError(
+                        f"simulator {self.name!r} stepped after finish()")
+                cycle = self._cycle
+                if cycle < self._quiescent_until:
+                    jump_to = self._quiescent_until
+                    if jump_to > end:
+                        jump_to = end
+                    frozen += jump_to - cycle
+                    self._cycle = jump_to
+                    continue
+                if self._wiring_stale:
+                    self._rebuild_wiring()
+                if heap_list and heap_list[0][0] <= cycle:
+                    self._wake_due(cycle)
+                ran = 0
+                for component in components:
+                    if component._k_asleep:
+                        slept += 1
+                        continue
+                    mask = component._k_mask
+                    if mask and cycle & mask:
+                        # backed off: tick without polling (sound either
+                        # way)
+                        component.tick(cycle)
+                        ran += 1
+                        continue
+                    if component.is_quiescent(cycle):
+                        skipped += 1
+                        if mask:
+                            component._k_mask = mask >> 1
+                        elif component._k_miss:
+                            component._k_miss -= 1
+                        if component._k_sleepable:
+                            quiet = component._k_quiet + 1
+                            if quiet >= _SLEEP_AFTER:
+                                component._k_asleep = True
+                                del self._awake[component]
+                                self._asleep[component] = True
+                                hint = component.next_event_cycle(cycle)
+                                if hint is not None and hint > cycle:
+                                    if heap_push(component, hint):
+                                        heap_pushes += 1
+                            else:
+                                component._k_quiet = quiet
+                    else:
+                        component.tick(cycle)
+                        ran += 1
+                        component._k_quiet = 0
+                        if mask:
+                            if mask < _BACKOFF_MASK_MAX:
+                                component._k_mask = (mask << 1) | 1
+                        else:
+                            miss = component._k_miss + 1
+                            if miss >= _BACKOFF_AFTER:
+                                component._k_mask = _BACKOFF_MASK_FIRST
+                                component._k_miss = 0
+                            else:
+                                component._k_miss = miss
+                ran_total += ran
+                polled += 1
+                if dirty:
+                    n_dirty = len(dirty)
+                    if n_dirty >= _BULK_THRESHOLD:
+                        self._cohorts.flush(cycle, dirty)
+                    else:
+                        # inlined pure-Python commit (the overwhelmingly
+                        # common case; semantics identical to
+                        # CommitCohorts.flush, which tests compare
+                        # against Channel._commit directly)
+                        batches += 1
+                        committed += n_dirty
+                        next_cycle = cycle + 1
+                        sleeping = True if self._asleep else False
+                        for channel in dirty:
+                            staged = channel._staged
+                            queue = channel._queue
+                            if staged:
+                                ready = cycle + channel.latency
+                                if len(staged) == 1:
+                                    queue.append((ready, staged[0]))
+                                else:
+                                    queue.extend(
+                                        [(ready, item) for item in staged])
+                                staged.clear()
+                            channel._occupancy -= channel._popped_this_cycle
+                            channel._popped_this_cycle = 0
+                            channel._dirty = False
+                            if queue and queue[0][0] > next_cycle:
+                                if heap_push(channel, queue[0][0]):
+                                    heap_pushes += 1
+                            if sleeping:
+                                for component in channel._watchers:
+                                    if component._k_asleep:
+                                        wake(component)
+                        dirty.clear()
+                elif not ran:
+                    horizon = heap.peek_cycle()
+                    for component in self._awake:
+                        hint = component.next_event_cycle(cycle)
+                        if hint is not None and hint < horizon:
+                            horizon = hint
+                    if horizon > cycle:
+                        self._quiescent_until = horizon
+                        stats.horizon_scans += 1
+                self._cycle = cycle + 1
+        finally:
+            stats.ticks_run += ran_total
+            stats.ticks_skipped += skipped
+            stats.ticks_slept += slept
+            stats.cycles_polled += polled
+            stats.cycles_frozen += frozen
+            stats.cycles_total += polled + frozen
+            stats.commit_batches += batches
+            stats.commit_channels += committed
+            stats.heap_pushes += heap_pushes
 
     def run(self, cycles: int) -> None:
         """Run for a fixed number of cycles."""
         if cycles < 0:
             raise SimulationError("cannot run a negative number of cycles")
-        if not self.fast:
-            for _ in range(cycles):
-                self.step()
-            return
-        end = self._cycle + cycles
         self._quiescent_until = 0
-        stats = self.skip_stats
-        while self._cycle < end:
+        if self.fast:
+            self._run_fast(self._cycle + cycles)
+            return
+        for _ in range(cycles):
             if self._finished:
                 raise SimulationError(
                     f"simulator {self.name!r} stepped after finish()")
-            if self._cycle < self._quiescent_until:
-                jump_to = min(self._quiescent_until, end)
-                stats.cycles_frozen += jump_to - self._cycle
-                stats.cycles_total += jump_to - self._cycle
-                self._cycle = jump_to
-            else:
-                self._polled_cycle()
+            self._reference_cycle()
 
     def run_until(self, predicate: Callable[[], bool],
                   max_cycles: int = 1_000_000,
@@ -291,7 +559,6 @@ class Simulator:
             raise SimulationError("check_every must be >= 1")
         start = self._cycle
         self._quiescent_until = 0
-        stats = self.skip_stats
         while not predicate():
             elapsed = self._cycle - start
             if elapsed >= max_cycles:
@@ -300,19 +567,9 @@ class Simulator:
                     f"{self.name!r} (started at cycle {start})")
             stride = min(check_every, max_cycles - elapsed)
             if self.fast:
-                target = self._cycle + stride
-                while self._cycle < target:
-                    if self._finished:
-                        raise SimulationError(
-                            f"simulator {self.name!r} stepped after "
-                            f"finish()")
-                    if self._cycle < self._quiescent_until:
-                        jump_to = min(self._quiescent_until, target)
-                        stats.cycles_frozen += jump_to - self._cycle
-                        stats.cycles_total += jump_to - self._cycle
-                        self._cycle = jump_to
-                    else:
-                        self._polled_cycle()
+                # note: no _quiescent_until reset between strides — an
+                # observational predicate cannot unfreeze the system
+                self._run_fast(self._cycle + stride)
             else:
                 for _ in range(stride):
                     self.step()

@@ -135,16 +135,28 @@ class KernelSkipStats:
     * ``cycles_frozen`` — cycles crossed inside a frozen horizon, where
       nothing was polled, ticked, or committed at all.
     * ``ticks_run`` / ``ticks_skipped`` — component ticks executed versus
-      elided during polled cycles.
-    * ``horizon_scans`` — how many times the kernel computed a bulk-skip
-      horizon (each scan walks all channels and quiescent components once).
+      elided (after an ``is_quiescent`` poll) during polled cycles.
+    * ``ticks_slept`` — component-cycles spent fully asleep during polled
+      cycles: the component was neither polled nor ticked because it
+      declared :meth:`~repro.sim.Component.wake_channels` and nothing woke
+      it.  (The cycle a sleeper enters or leaves sleep it is still polled,
+      and counted under ``ticks_skipped``.)
+    * ``horizon_scans`` — how many times the kernel froze the system and
+      computed a bulk-skip horizon (heap minimum + awake-component hints).
+    * ``heap_pushes`` / ``heap_pops`` — wake-heap entries scheduled
+      (component hints and future channel heads) and entries that came due
+      and woke their subject.
+    * ``commit_batches`` / ``commit_channels`` — cohort commit flushes and
+      the total dirty channels committed across them.
 
     ``ticks_skipped`` deliberately excludes frozen cycles; the headline
     "work avoided" figure is ``work_avoided_fraction`` which folds both in.
     """
 
     __slots__ = ("cycles_total", "cycles_polled", "cycles_frozen",
-                 "ticks_run", "ticks_skipped", "horizon_scans")
+                 "ticks_run", "ticks_skipped", "ticks_slept",
+                 "horizon_scans", "heap_pushes", "heap_pops",
+                 "commit_batches", "commit_channels")
 
     def __init__(self) -> None:
         self.reset()
@@ -156,17 +168,21 @@ class KernelSkipStats:
         self.cycles_frozen = 0
         self.ticks_run = 0
         self.ticks_skipped = 0
+        self.ticks_slept = 0
         self.horizon_scans = 0
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.commit_batches = 0
+        self.commit_channels = 0
 
     @property
     def work_avoided_fraction(self) -> float:
         """Fraction of potential component ticks that were not executed."""
         n_per_cycle = 0
+        polled_ticks = self.ticks_run + self.ticks_skipped + self.ticks_slept
         if self.cycles_polled:
-            n_per_cycle = ((self.ticks_run + self.ticks_skipped)
-                           / self.cycles_polled)
-        potential = self.ticks_run + self.ticks_skipped \
-            + self.cycles_frozen * n_per_cycle
+            n_per_cycle = polled_ticks / self.cycles_polled
+        potential = polled_ticks + self.cycles_frozen * n_per_cycle
         if potential <= 0:
             return 0.0
         return 1.0 - self.ticks_run / potential
@@ -179,7 +195,12 @@ class KernelSkipStats:
             "cycles_frozen": self.cycles_frozen,
             "ticks_run": self.ticks_run,
             "ticks_skipped": self.ticks_skipped,
+            "ticks_slept": self.ticks_slept,
             "horizon_scans": self.horizon_scans,
+            "heap_pushes": self.heap_pushes,
+            "heap_pops": self.heap_pops,
+            "commit_batches": self.commit_batches,
+            "commit_channels": self.commit_channels,
             "work_avoided_fraction": self.work_avoided_fraction,
         }
 

@@ -1,0 +1,157 @@
+"""Unit tests for the cohort-batched channel commit engine.
+
+``CommitCohorts.flush`` promises semantics identical to calling
+``Channel._commit`` on every dirty channel (plus the kernel duties that
+piggyback on a commit: waking watchers and scheduling far-future heads
+on the wake heap).  Both code paths — the vectorized numpy staging and
+the pure-Python batch — are checked here directly against the
+per-channel reference, as the module docstring of ``repro.sim.commit``
+advertises.
+"""
+
+import pytest
+
+from repro.sim import Channel, Simulator
+from repro.sim.commit import _BULK_THRESHOLD, CommitCohorts
+
+LATENCIES = (1, 2, 3)
+
+
+def _build(n_channels, use_numpy):
+    sim = Simulator("cohorts", fast=True)
+    channels = [
+        Channel(sim, f"ch{i}", latency=LATENCIES[i % len(LATENCIES)],
+                capacity=None)
+        for i in range(n_channels)
+    ]
+    cohorts = CommitCohorts(sim, channels, use_numpy=use_numpy)
+    # the numpy bulk path only engages once the kernel wiring is settled
+    sim._wiring_stale = False
+    return sim, channels, cohorts
+
+
+def _stage_traffic(channels):
+    """Stage a varied mix: multi-item, single-item, and pop-only dirt."""
+    for index, channel in enumerate(channels):
+        for item in range(index % 3 + 1):
+            channel.push((index, item))
+
+
+def _state(channel):
+    return (list(channel._queue), channel._occupancy, channel._dirty,
+            list(channel._staged), channel._popped_this_cycle)
+
+
+@pytest.mark.parametrize("use_numpy", (False, True),
+                         ids=("python", "numpy"))
+@pytest.mark.parametrize("n_channels", (4, _BULK_THRESHOLD + 8),
+                         ids=("small", "bulk"))
+def test_flush_matches_reference_commit(use_numpy, n_channels):
+    cycle = 37
+    sim, channels, cohorts = _build(n_channels, use_numpy)
+    _stage_traffic(channels)
+    dirty = list(sim._dirty_channels)
+    assert len(dirty) == n_channels
+
+    # the reference: an identical twin committed channel by channel
+    ref_sim, ref_channels, __ = _build(n_channels, use_numpy=False)
+    _stage_traffic(ref_channels)
+    for channel in ref_channels:
+        channel._commit(cycle)
+
+    cohorts.flush(cycle, sim._dirty_channels)
+    assert sim._dirty_channels == []
+    for channel, reference in zip(channels, ref_channels):
+        assert _state(channel) == _state(reference)
+        # ready stamps really are cycle + latency
+        for ready, __item in channel._queue:
+            assert ready == cycle + channel.latency
+
+
+def test_bulk_flush_uses_numpy_path():
+    sim, channels, cohorts = _build(_BULK_THRESHOLD, use_numpy=True)
+    _stage_traffic(channels)
+    cohorts.flush(5, sim._dirty_channels)
+    assert cohorts.bulk_flushes == 1
+
+
+def test_small_flush_stays_on_python_path():
+    sim, channels, cohorts = _build(_BULK_THRESHOLD - 1, use_numpy=True)
+    _stage_traffic(channels)
+    cohorts.flush(5, sim._dirty_channels)
+    assert cohorts.bulk_flushes == 0
+
+
+@pytest.mark.parametrize("use_numpy", (False, True),
+                         ids=("python", "numpy"))
+def test_far_future_heads_go_on_the_wake_heap(use_numpy):
+    # latency-1 heads are visible by the next polled cycle and are
+    # covered by the commit-time watcher wake; only latency > 1 heads
+    # need a heap entry
+    cycle = 10
+    sim, channels, cohorts = _build(_BULK_THRESHOLD + 3, use_numpy)
+    _stage_traffic(channels)
+    cohorts.flush(cycle, sim._dirty_channels)
+    heap = sim._wakeheap
+    assert heap.peek_cycle() == cycle + 2
+    due = heap.pop_due(cycle + 3)
+    assert due and all(channel.latency > 1 for channel in due)
+    assert {channel.latency for channel in due} == {2, 3}
+    assert heap.peek_cycle() == float("inf")
+
+
+@pytest.mark.parametrize("use_numpy", (False, True),
+                         ids=("python", "numpy"))
+def test_flush_wakes_sleeping_watchers(use_numpy):
+    sim, channels, cohorts = _build(4, use_numpy)
+
+    from repro.sim import Component
+
+    class Sleeper(Component):
+        def tick(self, cycle):
+            pass
+
+        def is_quiescent(self, cycle):
+            return True
+
+        def wake_channels(self):
+            return [channels[0]]
+
+    sleeper = Sleeper(sim, "sleeper")
+    sim._rebuild_wiring()
+    sim._wiring_stale = False
+    # put the watcher to sleep the way the kernel would
+    sleeper._k_asleep = True
+    sim._asleep[sleeper] = True
+    del sim._awake[sleeper]
+
+    channels[0].push("payload")
+    cohorts.flush(3, sim._dirty_channels)
+    assert sleeper._k_asleep is False
+    assert sleeper in sim._awake and sleeper not in sim._asleep
+
+
+def test_pop_accounting_matches_reference():
+    # a channel dirtied by pops alone (no staged pushes) must shrink its
+    # occupancy identically on both engines
+    cycle = 50
+    sim, channels, cohorts = _build(2, use_numpy=False)
+    channel = channels[0]
+    channel.push("a")
+    channel.push("b")
+    cohorts.flush(cycle, sim._dirty_channels)
+    occupancy_before = channel._occupancy
+    assert channel.can_pop() is False        # heads ready at cycle + 1
+    sim._cycle = cycle + channel.latency     # make the heads visible
+    assert channel.pop() == "a"
+    cohorts.flush(cycle + channel.latency, sim._dirty_channels)
+    assert channel._occupancy == occupancy_before - 1
+    assert channel._popped_this_cycle == 0
+    assert channel._dirty is False
+
+
+def test_cohorts_group_by_latency():
+    __, channels, cohorts = _build(6, use_numpy=False)
+    groups = cohorts.cohorts()
+    assert sorted(groups) == sorted(set(LATENCIES))
+    assert sum(len(names) for names in groups.values()) == len(channels)

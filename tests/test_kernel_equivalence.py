@@ -387,3 +387,74 @@ class TestFastPathActuallySkips:
         stats = soc.sim.skip_stats
         assert stats.ticks_skipped == 0
         assert stats.cycles_frozen == 0
+
+
+# ----------------------------------------------------------------------
+# randomized sweep: hypothesis searches the system-shape space for any
+# workload on which the two kernel paths disagree
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_MASTER_KINDS = ("greedy", "random", "dma", "idle")
+
+
+def _attach_master(soc, port, kind, seed):
+    if kind == "greedy":
+        return GreedyTrafficGenerator(
+            soc.sim, f"m{port}", soc.port(port),
+            job_bytes=1024 << (seed % 3), burst_len=(16, 64)[seed % 2],
+            depth=1 + seed % 3)
+    if kind == "random":
+        return RandomTrafficGenerator(
+            soc.sim, f"m{port}", soc.port(port),
+            arrival_probability=0.01 + 0.02 * (seed % 4),
+            seed=seed)
+    if kind == "dma":
+        dma = AxiDma(soc.sim, f"m{port}", soc.port(port))
+        for index in range(1 + seed % 3):
+            if (seed + index) % 2:
+                dma.enqueue_read(0x1000_0000 + index * 0x8000,
+                                 512 << (seed % 3))
+            else:
+                dma.enqueue_write(0x2000_0000 + index * 0x8000,
+                                  512 << (seed % 3))
+        return dma
+    return None   # idle port: pure quiescence pressure
+
+
+class TestRandomizedEquivalence:
+    """Property: no reachable system shape distinguishes the paths."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_ports=st.integers(min_value=1, max_value=3),
+        kinds=st.lists(st.sampled_from(_MASTER_KINDS), min_size=3,
+                       max_size=3),
+        seed=st.integers(min_value=0, max_value=999),
+        period=st.sampled_from((512, 2048, 65536)),
+        window=st.integers(min_value=500, max_value=5000),
+        intervene=st.booleans(),
+    )
+    def test_random_system_shapes(self, n_ports, kinds, seed, period,
+                                  window, intervene):
+        def run(fast):
+            soc = SocSystem.build(ZCU102, n_ports=n_ports, period=period,
+                                  fast=fast)
+            engines = [engine for port in range(n_ports)
+                       for engine in [_attach_master(
+                           soc, port, kinds[port], seed + port)]
+                       if engine is not None]
+            soc.sim.run(window // 2)
+            if intervene and n_ports > 1:
+                # hypervisor-style mid-run action on the last port
+                soc.driver.decouple(n_ports - 1)
+                soc.sim.run(window // 4)
+                soc.driver.couple(n_ports - 1)
+            soc.sim.run(window // 2)
+            return (_signature(*engines), _memory_counters(soc.memory),
+                    _interconnect_counters(soc), soc.sim.now)
+
+        reference, fast = _both(run)
+        assert reference == fast
