@@ -11,6 +11,7 @@ trip cycle, the recovery outcome, and the interference experienced by
 the healthy master (cycles past its rogue-free completion time).
 """
 
+from repro.analysis import ContainmentBound
 from repro.axi import AxiLink
 from repro.hyperconnect import HyperConnect
 from repro.hypervisor import Hypervisor, RecoveryPolicy
@@ -195,8 +196,14 @@ def test_fault_campaign(benchmark):
     # the illegal burst never enters the fabric, so the port drains
     # immediately and the reset cures the (non-persistent) fault
     assert reference["illegal_burst"]["outcome"] == "recovered"
-    # bounded interference for contained master faults...
-    hung_delta = interference(reference["hung_r_master"])
-    assert 0 <= hung_delta <= TIMEOUT + 2500
+    # bounded interference for contained master faults, on both kernel
+    # paths, against the analytic containment bound (no magic slack)
+    bound = ContainmentBound(
+        n_ports=2, nominal_burst=16, memory=ZCU102.dram,
+        timeout_cycles=TIMEOUT).healthy_port_delay_bound()
+    for path in (reference, fast):
+        hung_delta = (path["hung_r_master"]["healthy_done"]
+                      - path["baseline"])
+        assert 0 <= hung_delta <= bound
     # ...and zero interference for an ingest-rejected illegal burst
     assert reference["illegal_burst"]["healthy_done"] == baseline

@@ -1,5 +1,6 @@
 """Closed-form predictability analysis of the AXI HyperConnect."""
 
+from .containment import ContainmentBound
 from .interference import (
     InterferenceModel,
     interfering_transactions,
@@ -23,6 +24,7 @@ from .reservation import (
 from .wcrt import HyperConnectWcrt
 
 __all__ = [
+    "ContainmentBound",
     "InterferenceModel",
     "interfering_transactions",
     "transaction_service_cycles",

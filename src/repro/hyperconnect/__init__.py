@@ -13,7 +13,11 @@ from .regs import (
     RegisterFile,
     port_register,
 )
-from .supervisor import PortConfig, TransactionSupervisor
+from .supervisor import (
+    PortConfig,
+    TransactionSupervisor,
+    drain_and_complete_orphans,
+)
 
 __all__ = [
     "CentralUnit",
@@ -32,4 +36,5 @@ __all__ = [
     "port_register",
     "PortConfig",
     "TransactionSupervisor",
+    "drain_and_complete_orphans",
 ]

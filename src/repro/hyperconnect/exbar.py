@@ -34,7 +34,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List
 
-from ..axi.payloads import AddrBeat, RespBeat, WriteBeat
+from ..axi.payloads import RespBeat, WriteBeat
 from ..axi.port import AxiLink
 from ..sim.channel import Channel
 from ..sim.component import Component
@@ -83,10 +83,14 @@ class Exbar(Component):
         self._rr_ar = 0
         self._rr_aw = 0
         #: routing information (circular buffers in the RTL): grant order
-        #: of sub-reads / sub-writes, consumed by the R / W+B routers
+        #: of sub-reads / sub-writes, consumed by the R / W+B routers.
+        #: ``port`` and ``final_sub`` are snapshotted at grant time: when
+        #: HyperConnects cascade, the downstream level's TS re-stamps both
+        #: fields on the same AddrBeat object, so routing must not re-read
+        #: them from the beat later.
         self._route_r: Deque[list] = deque()
         self._route_w: Deque[list] = deque()
-        self._route_b: Deque[AddrBeat] = deque()
+        self._route_b: Deque[list] = deque()
         self.grants_ar = 0
         self.grants_aw = 0
         self.dropped_beats = 0   # beats destined to a decoupled port
@@ -119,7 +123,8 @@ class Exbar(Component):
                     port += 1
                     self._rr_ar = port if port < n_ports else 0
                     self.grants_ar += 1
-                    self._route_r.append([beat.port, beat, beat.length])
+                    self._route_r.append(
+                        [beat.port, beat, beat.length, beat.final_sub])
                     break
                 port += 1
                 if port >= n_ports:
@@ -141,7 +146,7 @@ class Exbar(Component):
                     self._rr_aw = port if port < n_ports else 0
                     self.grants_aw += 1
                     self._route_w.append([beat.port, beat, beat.length])
-                    self._route_b.append(beat)
+                    self._route_b.append([beat.port, beat.final_sub, beat])
                     break
                 port += 1
                 if port >= n_ports:
@@ -203,14 +208,14 @@ class Exbar(Component):
         master_r = self.master_link.r
         beat = master_r._queue[0][1]
         entry = self._route_r[0]
-        port, sub, beats_left = entry
+        port, sub, beats_left, final_sub = entry
         link = self.ha_links[port]
         if link.gate.coupled:
             r = link.r
             if r.capacity is not None and r._occupancy >= r.capacity:
                 return  # backpressure towards the memory side
             master_r.pop()
-            if beat.last and not sub.final_sub:
+            if beat.last and not final_sub:
                 beat.last = False   # seam between merged sub-bursts
             beat.addr_beat = sub
             r.push(beat)
@@ -230,11 +235,10 @@ class Exbar(Component):
         """
         master_b = self.master_link.b
         response = master_b._queue[0][1]
-        sub = self._route_b[0]
-        port = sub.port
+        port, final_sub, sub = self._route_b[0]
         link = self.ha_links[port]
         origin = sub.origin()
-        if sub.final_sub and link.gate.coupled:
+        if final_sub and link.gate.coupled:
             if not link.b.can_push():
                 return
             master_b.pop()
@@ -244,7 +248,7 @@ class Exbar(Component):
         else:
             master_b.pop()
             origin.resp_acc = origin.resp_acc.merged_with(response.resp)
-            if sub.final_sub:
+            if final_sub:
                 self.dropped_beats += 1
         self._route_b.popleft()
         self.supervisors[port].note_write_complete()
@@ -276,9 +280,9 @@ class Exbar(Component):
             if not link.coupled or link.r.can_push():
                 return False
         if self._route_b and master.b.can_pop():
-            sub = self._route_b[0]
-            link = self.ha_links[sub.port]
-            if not (sub.final_sub and link.coupled) or link.b.can_push():
+            port, final_sub, _sub = self._route_b[0]
+            link = self.ha_links[port]
+            if not (final_sub and link.coupled) or link.b.can_push():
                 return False
         return True
 

@@ -70,6 +70,50 @@ class PortConfig:
             raise ConfigurationError("timeout_cycles must be >= 1 or None")
 
 
+def drain_and_complete_orphans(link, inflight_reads, inflight_writes,
+                               synth_resp, stats) -> None:
+    """One containment cycle on a decoupled port: drain, then synthesize.
+
+    Pure with respect to its arguments — it touches only the given eFIFO
+    ``link``, the ``[origin, beats_owed]`` read queue / origin write queue,
+    and the :class:`~repro.sim.stats.PortFaultStats` counters — so it can
+    be unit-tested without building a HyperConnect (and reused by any
+    future containment host).  Semantics:
+
+    * swallow every request and W beat still visible in the eFIFO (they
+      were accepted before the gate closed); newly drained requests join
+      the orphan queues;
+    * synthesize at most one R beat and one B response per call, carrying
+      ``synth_resp``, so the upstream master's protocol state machine
+      finishes every burst it started — with an error, but without
+      hanging.
+    """
+    while link.ar.can_pop():
+        beat = link.ar.pop()
+        inflight_reads.append([beat, beat.length])
+        stats.drained_requests += 1
+    while link.aw.can_pop():
+        beat = link.aw.pop()
+        inflight_writes.append(beat)
+        stats.drained_requests += 1
+    while link.w.can_pop():
+        link.w.pop()
+        stats.drained_w_beats += 1
+    if inflight_reads and link.r.can_push():
+        origin, owed = inflight_reads[0]
+        link.r.push(DataBeat(last=owed == 1, txn_id=origin.txn_id,
+                             resp=synth_resp, addr_beat=origin))
+        stats.synth_r_beats += 1
+        if owed == 1:
+            stats.orphans_completed += 1
+    if inflight_writes and link.b.can_push():
+        origin = inflight_writes[0]
+        link.b.push(RespBeat(txn_id=origin.txn_id,
+                             resp=synth_resp, addr_beat=origin))
+        stats.synth_b_beats += 1
+        stats.orphans_completed += 1
+
+
 class TransactionSupervisor(Component):
     """Supervises one HyperConnect input port.
 
@@ -276,40 +320,11 @@ class TransactionSupervisor(Component):
             detail=detail))
 
     def _containment_tick(self, cycle: int) -> None:
-        """Drain the decoupled port and complete its orphans.
-
-        Every cycle while faulted: swallow whatever requests/W beats are
-        still visible in the eFIFO (they were accepted before the gate
-        closed), then synthesize at most one R beat and one B response so
-        the upstream master's protocol state machine finishes every burst
-        it started — with an error response, but without hanging.
-        """
-        link = self.ha_link
-        stats = self.fault_stats
-        while link.ar.can_pop():
-            beat = link.ar.pop()
-            self._inflight_reads.append([beat, beat.length])
-            stats.drained_requests += 1
-        while link.aw.can_pop():
-            beat = link.aw.pop()
-            self._inflight_writes.append(beat)
-            stats.drained_requests += 1
-        while link.w.can_pop():
-            link.w.pop()
-            stats.drained_w_beats += 1
-        if self._inflight_reads and link.r.can_push():
-            origin, owed = self._inflight_reads[0]
-            link.r.push(DataBeat(last=owed == 1, txn_id=origin.txn_id,
-                                 resp=self._synth_resp, addr_beat=origin))
-            stats.synth_r_beats += 1
-            if owed == 1:
-                stats.orphans_completed += 1
-        if self._inflight_writes and link.b.can_push():
-            origin = self._inflight_writes[0]
-            link.b.push(RespBeat(txn_id=origin.txn_id,
-                                 resp=self._synth_resp, addr_beat=origin))
-            stats.synth_b_beats += 1
-            stats.orphans_completed += 1
+        """Drain the decoupled port and complete its orphans (delegates
+        to the pure :func:`drain_and_complete_orphans` helper)."""
+        drain_and_complete_orphans(self.ha_link, self._inflight_reads,
+                                   self._inflight_writes, self._synth_resp,
+                                   self.fault_stats)
 
     @property
     def drained(self) -> bool:

@@ -180,8 +180,12 @@ class Hypervisor:
         Idempotent: a second call returns the existing agent.
         """
         if self.recovery is None:
+            # one agent per supervised interconnect: derive the component
+            # name from the HyperConnect so cascaded topologies (several
+            # hypervisors in one simulation) never collide
             self.recovery = FaultRecoveryAgent(
-                self.sim, "hypervisor.recovery", self)
+                self.sim, f"{self.hyperconnect.name}.hypervisor.recovery",
+                self)
         return self.recovery
 
     def quarantine(self, port: int) -> None:

@@ -1,0 +1,85 @@
+"""``repro.verify`` — property-based fault-campaign verification.
+
+The subsystem that scales PR 2's five hand-seeded fault scenarios out to
+randomized campaigns (ROADMAP: *fault-campaign scale-out*): pure-data
+:class:`Scenario` descriptions, a harness that builds any of four
+topology families from them, oracle families (liveness, AXI protocol,
+fast-vs-reference kernel equivalence, analytic containment bound), and a
+replayable counterexample corpus.
+
+Hypothesis strategies intentionally live in :mod:`repro.verify.
+strategies` and are **not** imported here — the runtime package stays
+import-clean without the test dependency.
+"""
+
+from .corpus import (
+    CorpusEntry,
+    add_entry,
+    load_corpus,
+    replay_entry,
+    save_corpus,
+)
+from .harness import (
+    RECOVERY_POLICY,
+    RunResult,
+    Station,
+    System,
+    build_system,
+    run_scenario,
+    run_system,
+)
+from .oracles import (
+    OracleViolation,
+    check_containment_bound,
+    check_equivalence,
+    check_liveness,
+    check_protocol,
+    check_scenario,
+    containment_bound_for,
+    dump_falsifying_example,
+    fingerprint_digest,
+)
+from .scenario import (
+    FAMILIES,
+    MASTER_FAULTS,
+    MEMORY_FAULT_FAMILIES,
+    MEMORY_FAULTS,
+    MasterFault,
+    MemoryFault,
+    PortPlan,
+    Scenario,
+    canonical_json,
+)
+
+__all__ = [
+    "CorpusEntry",
+    "add_entry",
+    "load_corpus",
+    "replay_entry",
+    "save_corpus",
+    "RECOVERY_POLICY",
+    "RunResult",
+    "Station",
+    "System",
+    "build_system",
+    "run_scenario",
+    "run_system",
+    "OracleViolation",
+    "check_containment_bound",
+    "check_equivalence",
+    "check_liveness",
+    "check_protocol",
+    "check_scenario",
+    "containment_bound_for",
+    "dump_falsifying_example",
+    "fingerprint_digest",
+    "FAMILIES",
+    "MASTER_FAULTS",
+    "MEMORY_FAULT_FAMILIES",
+    "MEMORY_FAULTS",
+    "MasterFault",
+    "MemoryFault",
+    "PortPlan",
+    "Scenario",
+    "canonical_json",
+]

@@ -1,0 +1,255 @@
+"""Build and run :class:`~repro.verify.scenario.Scenario` objects.
+
+One scenario runs as a fixed-length simulation (``scenario.horizon`` +
+``scenario.settle`` cycles) so the reference and fast kernel paths walk
+exactly the same wall of cycles; all oracle checks happen *after* the
+run on the collected :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..axi import LinkChecker
+from ..axi.port import AxiLink
+from ..hyperconnect import HyperConnect, InOrderAdapter
+from ..hypervisor import Hypervisor, RecoveryPolicy
+from ..masters import AxiDma, FaultInjectingMaster
+from ..memory import (
+    DramTiming,
+    FaultInjectingMemory,
+    MemorySubsystem,
+    MultiPortMemorySubsystem,
+    OutOfOrderMemory,
+)
+from ..platforms import ZCU102
+from ..sim import Simulator
+from .scenario import PortPlan, Scenario
+
+#: short retry leash so unrecoverable faults give up inside the horizon
+RECOVERY_POLICY = RecoveryPolicy(max_retries=2, backoff_cycles=256,
+                                 backoff_factor=2)
+#: copy jobs write this far above their read address
+COPY_DEST_OFFSET = 0x80_0000
+#: reduced-latency timing for the OOO family (row model armed so the
+#: controller actually reorders)
+OOO_TIMING = DramTiming(read_latency=12, write_latency=8, resp_latency=2,
+                        row_miss_penalty=24)
+
+
+@dataclass
+class Station:
+    """One leaf port of the built system: plan + live components."""
+
+    plan_index: int
+    plan: PortPlan
+    engine: object
+    hyperconnect: HyperConnect
+    port_index: int
+    checker: Optional[LinkChecker]
+    jobs: List[object] = field(default_factory=list)
+
+    @property
+    def supervisor(self):
+        return self.hyperconnect.supervisors[self.port_index]
+
+
+@dataclass
+class System:
+    """Everything :func:`build_system` wired together."""
+
+    sim: Simulator
+    scenario: Scenario
+    stations: List[Station]
+    hyperconnects: List[HyperConnect]
+    hypervisors: List[Hypervisor]
+    memory: object
+    memory_timing: DramTiming
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Deterministic observables of one finished scenario run."""
+
+    fingerprint: tuple
+    #: per-plan-index engine observables
+    engines: Tuple[dict, ...]
+    #: per-plan-index strict protocol violations (None = no checker)
+    violations: Tuple[Optional[Tuple[str, ...]], ...]
+    #: per-plan-index watchdog/protocol trip counts
+    trips: Tuple[int, ...]
+    #: latest job-completion cycle over non-rogue engines (None when no
+    #: healthy job completed)
+    healthy_done: Optional[int]
+    now: int
+
+
+def _make_memory(sim: Simulator, scenario: Scenario, link: AxiLink,
+                 timing: DramTiming):
+    fault = scenario.memory
+    if fault.kind == "none":
+        return MemorySubsystem(sim, "mem", link, timing=timing)
+    kwargs: Dict[str, object] = {"seed": fault.seed}
+    if fault.kind == "dead":
+        kwargs["dead_after_beats"] = fault.dead_after_beats
+    elif fault.kind == "freeze":
+        kwargs["freeze_window"] = (fault.freeze_start,
+                                   fault.freeze_start + fault.freeze_cycles)
+    elif fault.kind == "stall":
+        kwargs["stall_rate"] = fault.stall_rate
+        kwargs["stall_cycles"] = fault.stall_cycles
+    elif fault.kind == "error":
+        kwargs["error_rate"] = fault.error_rate
+    return FaultInjectingMemory(sim, "mem", link, timing=timing, **kwargs)
+
+
+def _make_engine(sim: Simulator, name: str, plan: PortPlan, link):
+    if plan.is_rogue:
+        return FaultInjectingMaster(
+            sim, name, link, fault_mode=plan.fault.mode,
+            hang_after_beats=plan.fault.hang_after_beats,
+            persistent=plan.fault.persistent)
+    return AxiDma(sim, name, link)
+
+
+def _arm(hypervisor: Hypervisor, scenario: Scenario,
+         stations: List[Station]) -> None:
+    hc = hypervisor.hyperconnect
+    for station in stations:
+        if station.hyperconnect is hc and station.plan.timeout is not None:
+            hypervisor.driver.set_watchdog_timeout(
+                station.port_index, station.plan.timeout)
+    if scenario.equal_shares:
+        share = 1.0 / hc.n_ports
+        hypervisor.driver.set_bandwidth_shares(
+            {port: share for port in range(hc.n_ports)},
+            period=scenario.period)
+    hypervisor.default_recovery_policy = RECOVERY_POLICY
+    hypervisor.enable_fault_recovery()
+
+
+def build_system(scenario: Scenario, fast: bool) -> System:
+    """Instantiate the scenario's topology family on a fresh simulator."""
+    sim = Simulator("verify", clock_hz=ZCU102.pl_clock_hz, fast=fast)
+    timing = OOO_TIMING if scenario.family == "ooo" else ZCU102.dram
+    plans = scenario.ports
+    stations: List[Station] = []
+    hyperconnects: List[HyperConnect] = []
+
+    def station(index: int, hc: HyperConnect, port: int) -> None:
+        plan = plans[index]
+        link = hc.port(port)
+        engine = _make_engine(sim, f"ha{index}", plan, link)
+        checker = None if plan.is_rogue else LinkChecker(link)
+        stations.append(Station(index, plan, engine, hc, port, checker))
+
+    if scenario.family == "cascade":
+        link = AxiLink(sim, "m", data_bytes=16)
+        outer = HyperConnect(sim, "outer", 2, link)
+        memory = _make_memory(sim, scenario, link, timing)
+        inner = HyperConnect(sim, "inner", len(plans) - 1, outer.port(0))
+        hyperconnects = [outer, inner]
+        station(0, outer, 1)
+        for index in range(1, len(plans)):
+            station(index, inner, index - 1)
+    elif scenario.family == "multiport":
+        hp0 = AxiLink(sim, "hp0", data_bytes=16)
+        hp1 = AxiLink(sim, "hp1", data_bytes=16)
+        hc0 = HyperConnect(sim, "hc0", len(plans) - 1, hp0)
+        hc1 = HyperConnect(sim, "hc1", 1, hp1)
+        memory = MultiPortMemorySubsystem(sim, "mem", [hp0, hp1],
+                                          timing=timing)
+        hyperconnects = [hc0, hc1]
+        for index in range(len(plans) - 1):
+            station(index, hc0, index)
+        station(len(plans) - 1, hc1, 0)
+    else:  # flat / ooo share the single-HC layout
+        link = AxiLink(sim, "m", data_bytes=16)
+        hc = HyperConnect(sim, "hc", len(plans), link)
+        if scenario.family == "ooo":
+            down = AxiLink(sim, "down", data_bytes=16)
+            InOrderAdapter(sim, "adapter", link, down)
+            memory = OutOfOrderMemory(sim, "mem", down, timing=timing,
+                                      lookahead=8)
+        else:
+            memory = _make_memory(sim, scenario, link, timing)
+        hyperconnects = [hc]
+        for index in range(len(plans)):
+            station(index, hc, index)
+
+    hypervisors = []
+    for hc in hyperconnects:
+        hypervisor = Hypervisor(hc)
+        _arm(hypervisor, scenario, stations)
+        hypervisors.append(hypervisor)
+
+    for index, plan in enumerate(plans):
+        st = stations[index]
+        for kind, address, nbytes in plan.jobs:
+            if kind == "read":
+                st.jobs.append(st.engine.enqueue_read(address, nbytes))
+            elif kind == "write":
+                st.jobs.append(st.engine.enqueue_write(address, nbytes))
+            elif kind == "copy":
+                st.jobs.append(st.engine.enqueue_copy(
+                    address, address + COPY_DEST_OFFSET, nbytes))
+            else:
+                raise ValueError(f"unknown job kind {kind!r}")
+
+    return System(sim, scenario, stations, hyperconnects, hypervisors,
+                  memory, timing)
+
+
+def _engine_observables(station: Station) -> dict:
+    engine = station.engine
+    return {
+        "name": engine.name,
+        "bytes_read": engine.bytes_read,
+        "bytes_written": engine.bytes_written,
+        "jobs_completed": len(engine.jobs_completed),
+        "jobs_enqueued": len(station.jobs),
+        "error_responses": engine.error_responses,
+        "outstanding": engine.outstanding,
+        "hung": bool(getattr(engine, "is_hung", False)),
+    }
+
+
+def run_system(system: System) -> RunResult:
+    """Run the fixed horizon and collect the deterministic observables."""
+    scenario = system.scenario
+    sim = system.sim
+    sim.run(scenario.horizon)
+    sim.run(scenario.settle)
+    engines = tuple(_engine_observables(st) for st in system.stations)
+    violations = tuple(
+        tuple(str(v) for v in st.checker.violations)
+        if st.checker is not None else None
+        for st in system.stations)
+    trips = tuple(
+        st.supervisor.fault_stats.watchdog_trips
+        + st.supervisor.fault_stats.protocol_trips
+        for st in system.stations)
+    healthy_done: Optional[int] = None
+    for st in system.stations:
+        if st.plan.is_rogue:
+            continue
+        for job in st.jobs:
+            if job.completed is not None:
+                if healthy_done is None or job.completed > healthy_done:
+                    healthy_done = job.completed
+    fingerprint = (
+        tuple(tuple(sorted(info.items())) for info in engines),
+        tuple(tuple(sorted(d.items())) for d in sim.events.as_dicts()),
+        tuple(tuple(sorted(st.supervisor.fault_stats.as_dict().items()))
+              for st in system.stations),
+        sim.now,
+    )
+    return RunResult(fingerprint=fingerprint, engines=engines,
+                     violations=violations, trips=trips,
+                     healthy_done=healthy_done, now=sim.now)
+
+
+def run_scenario(scenario: Scenario, fast: bool) -> RunResult:
+    """Convenience: build then run."""
+    return run_system(build_system(scenario, fast))

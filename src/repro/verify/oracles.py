@@ -1,0 +1,208 @@
+"""Oracle families checked on every fuzzed scenario.
+
+Three oracle families from the verification plan, plus the analytic
+containment bound:
+
+1. **liveness** — every healthy port's outstanding transactions complete
+   (genuinely or via synthesized error responses) within the run;
+2. **protocol** — strict :class:`~repro.axi.LinkChecker` monitors on
+   every compliant master's port stay clean;
+3. **equivalence** — the reference and fast kernel paths produce
+   bit-identical observables (traffic, events, fault statistics, elapsed
+   time);
+4. **containment bound** — for single-rogue-master scenarios the
+   measured healthy-port completion delta against the fault-free
+   baseline respects
+   :class:`~repro.analysis.containment.ContainmentBound`.
+
+:func:`check_scenario` composes all of them; on failure it dumps the
+falsifying scenario as JSON (for CI artifact upload and corpus
+promotion) and raises :class:`OracleViolation`.
+"""
+
+from __future__ import annotations
+
+import os
+from hashlib import sha256
+from pathlib import Path
+from typing import Optional
+
+from ..analysis import ContainmentBound
+from .harness import RunResult, run_scenario
+from .scenario import Scenario, canonical_json
+
+#: where falsifying examples are written (CI uploads this directory)
+ARTIFACT_DIR_ENV = "VERIFY_ARTIFACT_DIR"
+DEFAULT_ARTIFACT_DIR = "fuzz-artifacts"
+
+
+class OracleViolation(AssertionError):
+    """A scenario falsified one of the verification oracles."""
+
+    def __init__(self, oracle: str, message: str,
+                 scenario: Scenario) -> None:
+        super().__init__(f"[{oracle}] {message}\nscenario: "
+                         f"{scenario.to_json()}")
+        self.oracle = oracle
+        self.scenario = scenario
+
+
+def fingerprint_digest(result: RunResult) -> str:
+    """Stable content hash of a run's observables (corpus currency)."""
+    return sha256(canonical_json(_plain(result.fingerprint))
+                  .encode()).hexdigest()
+
+
+def _plain(value):
+    """Fingerprint tuples -> JSON-representable lists/scalars."""
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# individual oracles
+# ----------------------------------------------------------------------
+
+def check_liveness(scenario: Scenario, result: RunResult) -> None:
+    """Oracle 1: no healthy port may end the run owed anything.
+
+    A hung reader is the one legitimate exception — it *refuses* its
+    answers, so its synthesized beats pile up behind its own closed
+    gate.  Ports that never tripped and saw a healthy memory must also
+    have finished every job, error-free.
+    """
+    for info, trip_count in zip(result.engines, result.trips):
+        if info["hung"]:
+            continue
+        if info["outstanding"] != 0:
+            raise OracleViolation(
+                "liveness",
+                f"{info['name']} ended with {info['outstanding']} "
+                "outstanding transactions", scenario)
+        untripped_healthy = (trip_count == 0
+                             and scenario.memory.kind == "none")
+        if untripped_healthy:
+            if info["jobs_completed"] != info["jobs_enqueued"]:
+                raise OracleViolation(
+                    "liveness",
+                    f"{info['name']} completed {info['jobs_completed']}"
+                    f"/{info['jobs_enqueued']} jobs with no fault on its "
+                    "path", scenario)
+            if info["error_responses"] != 0:
+                raise OracleViolation(
+                    "liveness",
+                    f"{info['name']} saw {info['error_responses']} error "
+                    "responses with no fault on its path", scenario)
+
+
+def check_protocol(scenario: Scenario, result: RunResult) -> None:
+    """Oracle 2: strict AXI monitors on compliant ports stay clean."""
+    for info, violations in zip(result.engines, result.violations):
+        if violations:
+            raise OracleViolation(
+                "protocol",
+                f"{info['name']} port monitor flagged: {violations[0]} "
+                f"(+{len(violations) - 1} more)", scenario)
+
+
+def check_equivalence(scenario: Scenario, reference: RunResult,
+                      fast: RunResult) -> None:
+    """Oracle 3: reference and fast kernels must agree bit-for-bit."""
+    if reference.fingerprint != fast.fingerprint:
+        detail = "fingerprints differ"
+        for index, (r, f) in enumerate(zip(reference.fingerprint,
+                                           fast.fingerprint)):
+            if r != f:
+                detail = (f"fingerprint component {index} differs: "
+                          f"{r!r} != {f!r}")
+                break
+        raise OracleViolation("equivalence", detail, scenario)
+
+
+def containment_bound_for(scenario: Scenario) -> Optional[ContainmentBound]:
+    """The analytic bound instance governing a scenario, if applicable.
+
+    Applicable exactly when one rogue master misbehaves over a healthy
+    memory with its watchdog armed: then containment (not the fault)
+    bounds the healthy ports' extra delay.
+    """
+    rogue = scenario.rogue_index
+    if rogue is None or scenario.memory.kind != "none":
+        return None
+    timeout = scenario.ports[rogue].timeout
+    if timeout is None:
+        return None
+    from .harness import OOO_TIMING
+    from ..platforms import ZCU102
+    timing = OOO_TIMING if scenario.family == "ooo" else ZCU102.dram
+    return ContainmentBound(
+        n_ports=len(scenario.ports), nominal_burst=16, memory=timing,
+        timeout_cycles=timeout, rogue_outstanding=8,
+        period=scenario.period if scenario.equal_shares else None)
+
+
+def check_containment_bound(scenario: Scenario, result: RunResult,
+                            baseline: RunResult) -> None:
+    """Oracle 4: measured healthy-port interference respects the bound."""
+    bound = containment_bound_for(scenario)
+    if bound is None:
+        return
+    if result.healthy_done is None or baseline.healthy_done is None:
+        return  # no healthy work to compare (liveness handles the rest)
+    limit = bound.healthy_port_delay_bound()
+    if scenario.family == "cascade":
+        limit += bound.cascade_slack(levels=2)
+    delta = result.healthy_done - baseline.healthy_done
+    if delta > limit:
+        raise OracleViolation(
+            "containment-bound",
+            f"healthy ports finished {delta} cycles later than the "
+            f"fault-free baseline; analytic bound is {limit} "
+            f"(detection={bound.detection_cycles} "
+            f"drain={bound.drain_cycles})", scenario)
+
+
+# ----------------------------------------------------------------------
+# composition
+# ----------------------------------------------------------------------
+
+def dump_falsifying_example(scenario: Scenario, oracle: str) -> Path:
+    """Persist a falsifying scenario for CI artifact upload / triage."""
+    directory = Path(os.environ.get(ARTIFACT_DIR_ENV,
+                                    DEFAULT_ARTIFACT_DIR))
+    directory.mkdir(parents=True, exist_ok=True)
+    digest = sha256(scenario.to_json().encode()).hexdigest()[:12]
+    path = directory / f"falsified-{oracle}-{digest}.json"
+    path.write_text(canonical_json({
+        "oracle": oracle,
+        "scenario": scenario.to_dict(),
+    }) + "\n")
+    return path
+
+
+def check_scenario(scenario: Scenario) -> RunResult:
+    """Run every oracle family on one scenario; returns the reference run.
+
+    Runs the scenario on both kernel paths, plus the fault-free baseline
+    (reference path) when the containment bound applies.  On violation,
+    the scenario is dumped to the artifact directory and the
+    :class:`OracleViolation` re-raised for hypothesis to shrink.
+    """
+    try:
+        reference = run_scenario(scenario, fast=False)
+        fast = run_scenario(scenario, fast=True)
+        check_equivalence(scenario, reference, fast)
+        check_liveness(scenario, reference)
+        check_protocol(scenario, reference)
+        if containment_bound_for(scenario) is not None:
+            baseline = run_scenario(scenario.baseline(), fast=False)
+            check_containment_bound(scenario, reference, baseline)
+    except OracleViolation as violation:
+        dump_falsifying_example(scenario, violation.oracle)
+        raise
+    return reference

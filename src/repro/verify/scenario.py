@@ -1,0 +1,206 @@
+"""Declarative fault-campaign scenarios.
+
+A :class:`Scenario` is a *pure-data* description of one randomized
+verification run: the topology family, the per-port work and watchdog
+programming, and at most one fault program (a misbehaving master **or** a
+misbehaving memory).  Scenarios are deliberately JSON-serializable and
+hashable-by-content so that
+
+* hypothesis can shrink them (`repro.verify.strategies` builds them from
+  primitive draws),
+* falsified examples can be checked into the regression corpus
+  (`tests/data/fault_corpus.json`) and replayed byte-identically,
+* a scenario prints as something a human can re-run by hand.
+
+The harness (:mod:`repro.verify.harness`) is the only code that turns a
+scenario into live simulator components.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Optional, Tuple
+
+#: supported topology families
+FAMILIES = ("flat", "cascade", "ooo", "multiport")
+#: master misbehaviours (mirrors repro.masters.faulty.FAULT_MODES)
+MASTER_FAULTS = ("none", "hung_r", "withheld_w", "illegal_burst")
+#: memory misbehaviours (mirrors FaultInjectingMemory's knobs)
+MEMORY_FAULTS = ("none", "dead", "freeze", "stall", "error")
+#: families served by the in-order DRAM model, where the fault-injecting
+#: memory wrapper exists; OOO/multi-port memories have no faulty variant
+MEMORY_FAULT_FAMILIES = ("flat", "cascade")
+
+
+@dataclass(frozen=True)
+class MasterFault:
+    """One port's misbehaviour program (``mode="none"`` = compliant)."""
+
+    mode: str = "none"
+    hang_after_beats: int = 16
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in MASTER_FAULTS:
+            raise ValueError(f"unknown master fault mode {self.mode!r}")
+        if self.hang_after_beats < 0:
+            raise ValueError("hang_after_beats must be >= 0")
+
+
+@dataclass(frozen=True)
+class MemoryFault:
+    """The memory subsystem's misbehaviour program."""
+
+    kind: str = "none"
+    dead_after_beats: int = 64
+    freeze_start: int = 400
+    freeze_cycles: int = 800
+    stall_rate: float = 0.05
+    stall_cycles: int = 20
+    error_rate: float = 0.05
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in MEMORY_FAULTS:
+            raise ValueError(f"unknown memory fault kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class PortPlan:
+    """One leaf port: its workload, watchdog, and (optional) fault.
+
+    ``jobs`` is a tuple of ``(kind, address, nbytes)`` with ``kind`` in
+    ``read`` / ``write`` / ``copy`` (copies write to ``address +
+    0x80_0000``).  ``timeout`` is the port's ``PORT_TIMEOUT`` programming
+    (``None`` = disarmed).
+    """
+
+    jobs: Tuple[Tuple[str, int, int], ...] = ()
+    timeout: Optional[int] = None
+    fault: MasterFault = field(default_factory=MasterFault)
+
+    @property
+    def is_rogue(self) -> bool:
+        return self.fault.mode != "none"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One randomized verification run, fully determined by its fields.
+
+    Family layouts (see :func:`repro.verify.harness.build_system`):
+
+    * ``flat`` — ``len(ports)`` ports on one HyperConnect over the
+      in-order DRAM model;
+    * ``cascade`` — ``ports[0]`` directly on the outer HyperConnect,
+      ``ports[1:]`` on an inner HyperConnect cascaded into the outer's
+      port 0 (requires >= 2 ports);
+    * ``ooo`` — flat HyperConnect, but the memory is the out-of-order
+      controller behind the in-order adapter;
+    * ``multiport`` — ``ports[:-1]`` on one HyperConnect, ``ports[-1]``
+      on a second, both into the multi-port memory subsystem (requires
+      >= 2 ports).
+
+    ``equal_shares`` arms the fig. 5-style symmetric bandwidth
+    reservation with period ``period`` on every HyperConnect.  At most
+    one fault program may be active: either exactly one rogue
+    :class:`PortPlan` or a non-``none`` :class:`MemoryFault`.
+    """
+
+    family: str
+    ports: Tuple[PortPlan, ...]
+    memory: MemoryFault = field(default_factory=MemoryFault)
+    equal_shares: bool = False
+    period: int = 2048
+    horizon: int = 12_000
+    settle: int = 256
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown family {self.family!r}")
+        if not self.ports:
+            raise ValueError("a scenario needs at least one port")
+        if self.family in ("cascade", "multiport") and len(self.ports) < 2:
+            raise ValueError(f"{self.family} needs >= 2 ports")
+        rogues = [p for p in self.ports if p.is_rogue]
+        if len(rogues) > 1:
+            raise ValueError("at most one rogue master per scenario")
+        if rogues and self.memory.kind != "none":
+            raise ValueError("one fault program per scenario: master "
+                             "fault and memory fault are exclusive")
+        if (self.memory.kind != "none"
+                and self.family not in MEMORY_FAULT_FAMILIES):
+            raise ValueError(
+                f"memory faults need an in-order DRAM family "
+                f"({MEMORY_FAULT_FAMILIES}); {self.family!r} has no "
+                "fault-injecting memory variant")
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rogue_index(self) -> Optional[int]:
+        """Index of the (single) rogue port, if any."""
+        for index, plan in enumerate(self.ports):
+            if plan.is_rogue:
+                return index
+        return None
+
+    def baseline(self) -> "Scenario":
+        """The fault-free twin used to measure interference deltas.
+
+        The rogue port keeps its place in the topology but loses both
+        its fault and its workload (matching how `bench_fault_campaign`
+        measures healthy-port interference); a memory fault is simply
+        stripped.
+        """
+        ports = tuple(
+            replace(plan, fault=MasterFault(), jobs=())
+            if plan.is_rogue else plan
+            for plan in self.ports)
+        return replace(self, ports=ports, memory=MemoryFault())
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        for plan in data["ports"]:
+            plan["jobs"] = [list(job) for job in plan["jobs"]]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        ports = tuple(
+            PortPlan(
+                jobs=tuple((str(k), int(a), int(n))
+                           for k, a, n in plan["jobs"]),
+                timeout=plan["timeout"],
+                fault=MasterFault(**plan["fault"]),
+            )
+            for plan in data["ports"])
+        return cls(
+            family=data["family"],
+            ports=ports,
+            memory=MemoryFault(**data["memory"]),
+            equal_shares=data["equal_shares"],
+            period=data["period"],
+            horizon=data["horizon"],
+            settle=data.get("settle", 256),
+        )
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key, compact) JSON — stable for hashing."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace drift)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))

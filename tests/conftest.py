@@ -2,11 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.platforms import ZCU102
 from repro.sim import Simulator
 from repro.system import SocSystem
+
+# Hypothesis budget profiles (select via HYPOTHESIS_PROFILE):
+#   dev     — local default; stock example counts, no wall-clock deadline
+#             (cycle-accurate runs vary too much for per-example deadlines).
+#   ci      — the quick fault-fuzz budget: derandomized so the CI seed set
+#             is fixed and every run replays the exact same scenarios.
+#             70 examples x 3 fuzz campaigns > the 200-scenario floor.
+#   nightly — the deep search budget; fresh randomness every night.
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", max_examples=70, deadline=None,
+                          derandomize=True)
+settings.register_profile("nightly", max_examples=400, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

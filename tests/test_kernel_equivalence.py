@@ -204,6 +204,39 @@ class TestContentionScenarios:
         reference, fast = _both(run)
         assert reference == fast
 
+    def test_freeze_window_revive_edge_wakes_fast_path(self):
+        """A deterministically frozen memory quiesces the whole fabric,
+        so the fast path bulk-skips the freeze — legal only because the
+        memory reports the revive edge through ``next_event_cycle``.
+        Without that wake hint the skip sails past ``freeze_window[1]``
+        and the revival is silently never observed."""
+        def run(fast):
+            from repro.axi.port import AxiLink
+            from repro.hyperconnect import HyperConnect
+            from repro.sim import Simulator
+
+            sim = Simulator("freeze", clock_hz=ZCU102.pl_clock_hz,
+                            fast=fast)
+            master = AxiLink(sim, "m", data_bytes=16)
+            hc = HyperConnect(sim, "hc", 2, master)
+            memory = FaultInjectingMemory(sim, "mem", master,
+                                          timing=ZCU102.dram,
+                                          freeze_window=(100, 2600))
+            dma = AxiDma(sim, "dma", hc.port(0))
+            job = dma.enqueue_read(0x1000_0000, 4096)
+            sim.run(6_000)
+            # no watchdog armed: the read simply waits out the freeze
+            # and must complete strictly after the revive edge
+            assert job.completed is not None
+            assert job.completed > 2600
+            if fast:
+                assert sim.skip_stats.ticks_skipped > 0
+            return (_signature(dma), _memory_counters(memory),
+                    job.completed, sim.now)
+
+        reference, fast = _both(run)
+        assert reference == fast
+
 
 class TestFutureWorkTopologies:
     """The final quiescence hooks from the ROADMAP — the in-order

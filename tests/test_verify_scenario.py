@@ -1,0 +1,133 @@
+"""Pure-data tests of the scenario model (no simulators involved).
+
+Scenarios are the currency of the verification layer: hypothesis shrinks
+them, the corpus stores them, humans re-run them.  That only works if
+serialization is a faithful round-trip and the validation rules reject
+every shape the harness cannot build.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+
+from repro.verify import (
+    MasterFault,
+    MemoryFault,
+    PortPlan,
+    Scenario,
+    canonical_json,
+)
+from repro.verify.strategies import scenarios
+
+
+def flat(ports, **kwargs):
+    return Scenario(family="flat", ports=tuple(ports), **kwargs)
+
+
+def healthy(timeout=None):
+    return PortPlan(jobs=(("read", 0x1000_0000, 1024),), timeout=timeout)
+
+
+def rogue(mode="hung_r"):
+    return PortPlan(jobs=(("read", 0x2000_0000, 1024),), timeout=400,
+                    fault=MasterFault(mode=mode, hang_after_beats=8))
+
+
+class TestRoundTrip:
+    @given(scenario=scenarios())
+    def test_json_round_trip_is_identity(self, scenario):
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    @given(scenario=scenarios())
+    def test_canonical_json_is_stable(self, scenario):
+        text = scenario.to_json()
+        assert Scenario.from_json(text).to_json() == text
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_settle_defaults_on_old_corpus_entries(self):
+        data = flat([healthy()]).to_dict()
+        del data["settle"]
+        assert Scenario.from_dict(data).settle == 256
+
+
+class TestValidation:
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            Scenario(family="star", ports=(healthy(),))
+
+    def test_rejects_empty_ports(self):
+        with pytest.raises(ValueError):
+            flat([])
+
+    @pytest.mark.parametrize("family", ("cascade", "multiport"))
+    def test_rejects_single_port_composite_topologies(self, family):
+        with pytest.raises(ValueError):
+            Scenario(family=family, ports=(healthy(),))
+
+    def test_rejects_two_rogues(self):
+        with pytest.raises(ValueError):
+            flat([rogue(), rogue()])
+
+    def test_rejects_master_and_memory_fault_together(self):
+        with pytest.raises(ValueError):
+            flat([rogue(), healthy()], memory=MemoryFault(kind="dead"))
+
+    @pytest.mark.parametrize("family", ("ooo", "multiport"))
+    def test_rejects_memory_fault_on_advanced_memories(self, family):
+        ports = (healthy(), healthy())
+        with pytest.raises(ValueError):
+            Scenario(family=family, ports=ports,
+                     memory=MemoryFault(kind="freeze"))
+
+    def test_rejects_bad_fault_programs(self):
+        with pytest.raises(ValueError):
+            MasterFault(mode="explode")
+        with pytest.raises(ValueError):
+            MasterFault(mode="hung_r", hang_after_beats=-1)
+        with pytest.raises(ValueError):
+            MemoryFault(kind="haunted")
+        with pytest.raises(ValueError):
+            flat([healthy()], horizon=0)
+
+
+class TestBaseline:
+    def test_rogue_loses_fault_and_workload(self):
+        scenario = flat([healthy(timeout=4000), rogue()])
+        baseline = scenario.baseline()
+        assert baseline.ports[1].fault == MasterFault()
+        assert baseline.ports[1].jobs == ()
+        # topology and healthy programming are untouched
+        assert baseline.ports[0] == scenario.ports[0]
+        assert baseline.ports[1].timeout == scenario.ports[1].timeout
+        assert baseline.family == scenario.family
+        assert baseline.rogue_index is None
+
+    def test_memory_fault_is_stripped(self):
+        scenario = flat([healthy(timeout=400)],
+                        memory=MemoryFault(kind="dead", dead_after_beats=0))
+        assert scenario.baseline().memory == MemoryFault()
+
+    def test_baseline_of_healthy_scenario_is_itself(self):
+        scenario = flat([healthy(), healthy(timeout=4000)])
+        assert scenario.baseline() == scenario
+
+    @given(scenario=scenarios())
+    def test_baseline_is_always_fault_free(self, scenario):
+        baseline = scenario.baseline()
+        assert baseline.rogue_index is None
+        assert baseline.memory.kind == "none"
+
+
+class TestAccessors:
+    def test_rogue_index(self):
+        assert flat([healthy(), rogue()]).rogue_index == 1
+        assert flat([rogue(), healthy()]).rogue_index == 0
+        assert flat([healthy()]).rogue_index is None
+
+    def test_scenarios_are_frozen(self):
+        scenario = flat([healthy()])
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            scenario.family = "cascade"

@@ -1,0 +1,182 @@
+"""Watchdog edge cases: boundary exactness, re-trips, simultaneous trips.
+
+The fault campaign covers the five seeded end-to-end stories; these
+tests pin the corner semantics the campaign happens not to reach:
+
+* a trip fires *exactly* at ``issue + PORT_TIMEOUT``, never a cycle
+  early or late, on both kernel paths;
+* a persistently faulty accelerator re-trips after every recovery
+  attempt until the retry budget is exhausted (the recovery loop's
+  attempt counter is cumulative by design);
+* two ports sharing the EXBAR can trip on the same cycle without
+  stepping on each other's containment.
+"""
+
+from repro.axi.port import AxiLink
+from repro.hyperconnect import HyperConnect
+from repro.hypervisor import Hypervisor, RecoveryPolicy
+from repro.masters import AxiDma, FaultInjectingMaster
+from repro.memory import FaultInjectingMemory, MemorySubsystem
+from repro.platforms import ZCU102
+from repro.sim import Simulator
+from repro.sim.events import PortFaultEvent, PortRecoveryEvent
+
+TIMEOUT = 400
+
+
+def build(fast, memory_cls=MemorySubsystem, memory_kwargs=None):
+    sim = Simulator("edges", clock_hz=ZCU102.pl_clock_hz, fast=fast)
+    link = AxiLink(sim, "m", data_bytes=16)
+    hc = HyperConnect(sim, "hc", 2, link)
+    memory_cls(sim, "mem", link, timing=ZCU102.dram,
+               **(memory_kwargs or {}))
+    return sim, hc, Hypervisor(hc)
+
+
+def dead_build(fast):
+    """A fabric whose memory never serves a single beat."""
+    return build(fast, memory_cls=FaultInjectingMemory,
+                 memory_kwargs={"dead_after_beats": 0, "seed": 1})
+
+
+def recoveries(sim, kind):
+    return [e for e in sim.events.events(PortRecoveryEvent)
+            if e.kind == kind]
+
+
+class TestExactBoundary:
+    """Deadlines are absolute cycles: trips land exactly on them."""
+
+    def test_trip_offset_tracks_timeout_offset_exactly(self):
+        """Two ports issue on the same cycle against a dead slave; their
+        trip cycles must differ by exactly the timeout difference."""
+        def run(fast):
+            sim, hc, hv = dead_build(fast)
+            hv.driver.set_watchdog_timeout(0, TIMEOUT)
+            hv.driver.set_watchdog_timeout(1, TIMEOUT + 50)
+            a = AxiDma(sim, "a", hc.port(0))
+            b = AxiDma(sim, "b", hc.port(1))
+            a.enqueue_read(0x1000_0000, 1024)
+            b.enqueue_read(0x2000_0000, 1024)
+            sim.run(TIMEOUT + 50 + 256)
+            faults = {e.port: e for e in sim.events.events(PortFaultEvent)}
+            assert sorted(faults) == [0, 1]
+            assert faults[0].age == TIMEOUT
+            assert faults[1].age == TIMEOUT + 50
+            assert faults[1].cycle - faults[0].cycle == 50
+            # same issue cycle recovered from either trip
+            assert (faults[0].cycle - TIMEOUT
+                    == faults[1].cycle - (TIMEOUT + 50))
+            return tuple(sim.events.as_dicts())
+
+        assert run(fast=False) == run(fast=True)
+
+    def test_no_trip_one_cycle_before_the_deadline(self):
+        """Re-run the same system up to trip-1 cycles: the watchdog must
+        still be silent; one more cycle fires it."""
+        def trip_cycle(fast):
+            sim, hc, hv = dead_build(fast)
+            hv.driver.set_watchdog_timeout(0, TIMEOUT)
+            AxiDma(sim, "a", hc.port(0)).enqueue_read(0x1000_0000, 1024)
+            sim.run(TIMEOUT + 256)
+            (fault,) = sim.events.events(PortFaultEvent)
+            return fault.cycle
+
+        reference = trip_cycle(fast=False)
+        assert reference == trip_cycle(fast=True)
+        for fast in (False, True):
+            sim, hc, hv = dead_build(fast)
+            hv.driver.set_watchdog_timeout(0, TIMEOUT)
+            AxiDma(sim, "a", hc.port(0)).enqueue_read(0x1000_0000, 1024)
+            sim.run(reference)  # runs cycles 0 .. trip-1 inclusive
+            assert not sim.events.events(PortFaultEvent)
+            assert hc.supervisors[0].fault_stats.watchdog_trips == 0
+            sim.run(1)
+            (fault,) = sim.events.events(PortFaultEvent)
+            assert fault.cycle == reference
+
+
+class TestPersistentRefault:
+    """A broken bitstream re-trips after each reset until retries run out."""
+
+    def test_retry_budget_exhausts_against_persistent_fault(self):
+        policy = RecoveryPolicy(max_retries=2, backoff_cycles=256,
+                                backoff_factor=2)
+
+        def run(fast):
+            sim, hc, hv = build(fast)
+            hv.default_recovery_policy = policy
+            hv.driver.set_watchdog_timeout(1, TIMEOUT)
+            hv.enable_fault_recovery()
+            rogue = FaultInjectingMaster(sim, "rogue", hc.port(1),
+                                         fault_mode="withheld_w",
+                                         hang_after_beats=4, seed=7,
+                                         persistent=True)
+            guest = hv.create_domain("guest")
+            guest.ports.append(1)
+            hv.attach_accelerator("guest", 1, rogue)
+            supervisor = hc.supervisors[1]
+
+            rogue.enqueue_write(0x3000_0000, 1024)
+            sim.run_until(lambda: len(recoveries(sim, "recouple")) >= 1,
+                          max_cycles=60_000)
+            assert supervisor.fault_stats.watchdog_trips == 1
+            # reset did NOT cure the fault (persistent bitstream defect)
+            assert rogue.fault_mode == "withheld_w"
+            assert hv.driver.is_coupled(1)
+
+            rogue.enqueue_write(0x3000_0000, 1024)
+            sim.run_until(lambda: len(recoveries(sim, "recouple")) >= 2,
+                          max_cycles=60_000)
+            assert supervisor.fault_stats.watchdog_trips == 2
+            assert rogue.fault_mode == "withheld_w"
+
+            # the retry budget (2) is spent: the third trip gives up
+            # immediately and the port stays quarantined for good
+            rogue.enqueue_write(0x3000_0000, 1024)
+            sim.run_until(lambda: len(recoveries(sim, "giveup")) >= 1,
+                          max_cycles=60_000)
+            sim.run(2048)
+            assert supervisor.fault_stats.watchdog_trips == 3
+            assert 1 in hv.recovery.gave_up
+            assert 1 in hv.quarantined
+            assert not hv.driver.is_coupled(1)
+            assert len(recoveries(sim, "recouple")) == 2
+            return (supervisor.fault_stats.as_dict(),
+                    tuple(sim.events.as_dicts()), sim.now)
+
+        assert run(fast=False) == run(fast=True)
+
+
+class TestSimultaneousTrips:
+    """Same-cycle trips on two ports sharing the EXBAR."""
+
+    def test_symmetric_ports_trip_on_the_same_cycle(self):
+        def run(fast):
+            sim, hc, hv = dead_build(fast)
+            for port in (0, 1):
+                hv.driver.set_watchdog_timeout(port, TIMEOUT)
+            a = AxiDma(sim, "a", hc.port(0))
+            b = AxiDma(sim, "b", hc.port(1))
+            a.enqueue_read(0x1000_0000, 2048)
+            b.enqueue_read(0x2000_0000, 2048)
+            sim.run(TIMEOUT + 2048)
+            faults = sim.events.events(PortFaultEvent)
+            assert sorted(e.port for e in faults) == [0, 1]
+            # symmetric programs issue together and trip together
+            assert faults[0].cycle == faults[1].cycle
+            assert all(e.age == TIMEOUT for e in faults)
+            # each port's containment ran independently to completion:
+            # every issued transaction answered with synthesized errors
+            for engine in (a, b):
+                assert engine.outstanding == 0
+                assert engine.error_responses > 0
+            for port in (0, 1):
+                supervisor = hc.supervisors[port]
+                assert supervisor.fault_stats.watchdog_trips == 1
+                assert supervisor.fault_stats.synth_r_beats > 0
+                assert not hv.driver.is_coupled(port)
+            return ((a.error_responses, b.error_responses),
+                    tuple(sim.events.as_dicts()), sim.now)
+
+        assert run(fast=False) == run(fast=True)
