@@ -49,8 +49,10 @@ def _platform(name: str):
 def cmd_latency(args: argparse.Namespace) -> int:
     """Fig. 3(a): per-channel propagation latency table."""
     platform = _platform(args.platform)
-    hc = measure_channel_latencies("hyperconnect", platform).as_dict()
-    sc = measure_channel_latencies("smartconnect", platform).as_dict()
+    hc = measure_channel_latencies("hyperconnect", platform,
+                                   parallel=args.parallel).as_dict()
+    sc = measure_channel_latencies("smartconnect", platform,
+                                   parallel=args.parallel).as_dict()
     print(f"per-channel propagation latency on {platform.name} (cycles)")
     print(f"{'channel':<9}{'HyperConnect':>13}{'SmartConnect':>13}"
           f"{'improvement':>13}")
@@ -64,8 +66,10 @@ def cmd_access_time(args: argparse.Namespace) -> int:
     """Fig. 3(b): memory access time for given sizes."""
     platform = _platform(args.platform)
     for nbytes in args.size:
-        hc = measure_access_time("hyperconnect", nbytes, platform)
-        sc = measure_access_time("smartconnect", nbytes, platform)
+        hc = measure_access_time("hyperconnect", nbytes, platform,
+                                 parallel=args.parallel)
+        sc = measure_access_time("smartconnect", nbytes, platform,
+                                 parallel=args.parallel)
         print(f"{nbytes:>9} B   HC {hc:>8} cycles   SC {sc:>8} cycles   "
               f"improvement {improvement(sc, hc):.1%}")
     return 0
@@ -85,7 +89,7 @@ def cmd_case_study(args: argparse.Namespace) -> int:
     result = run_case_study(args.interconnect, shares=shares,
                             scale=args.scale,
                             window_cycles=args.window,
-                            platform=platform)
+                            platform=platform, parallel=args.parallel)
     print(f"{label} on {platform.name}: "
           f"CHaiDNN {result.chaidnn_fps:.0f} scaled fps "
           f"({result.chaidnn_frames} frames), "
@@ -143,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--platform", default="ZCU102",
                         help="platform model (default: ZCU102)")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="sharded tick-engine worker count (0 = "
+                             "serial; default: REPRO_PARALLEL env var)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser(

@@ -17,6 +17,8 @@ from .errors import (
 )
 from .events import EventBus, PortFaultEvent, PortRecoveryEvent
 from .kernel import Simulator
+from .parallel import ParallelEngine
+from .partition import ShardPlan, Stage, build_plan
 from .stats import (
     Histogram,
     KernelSkipStats,
@@ -48,4 +50,8 @@ __all__ = [
     "Tracer",
     "CommitCohorts",
     "WakeHeap",
+    "ParallelEngine",
+    "ShardPlan",
+    "Stage",
+    "build_plan",
 ]

@@ -105,6 +105,33 @@ class Component:
         """
         return None
 
+    def shard_affinity(self) -> "str | None":
+        """Partition key for the sharded parallel kernel, or ``None``.
+
+        The graph partitioner (:mod:`repro.sim.partition`) colors
+        components into port-local shards by this key: components
+        returning the same key may end up ticked together on one worker,
+        components returning different keys may tick concurrently, and
+        ``None`` (the default) assigns the component to the shared *hub*
+        shard, which is always ticked serially.  Returning ``None`` is
+        therefore always correct — affinity is purely an optimization
+        hint.
+
+        A non-``None`` key is a promise: while the kernel is inside the
+        tick phase of a cycle, this component reads and writes only (a)
+        its own state, (b) channels shared exclusively with components
+        of the same shard, and (c) cross-shard state through the
+        deferred kernel services (channel pushes, event publishes,
+        wakes), never through direct same-cycle reads of another shard's
+        mutable state.  The partitioner additionally merges shards that
+        are found to share channels or observers, so declaring the same
+        key as the components you exchange beats with is sufficient.
+
+        Like :meth:`wake_channels`, this is read once per wiring
+        rebuild, after construction completes.
+        """
+        return None
+
     def wake(self) -> None:
         """Wake this component if the fast kernel path put it to sleep.
 

@@ -144,15 +144,42 @@ class Simulator:
         every cycle.  Both paths produce bit-identical results for
         components honouring the quiescence contract;
         ``tests/test_kernel_equivalence.py`` enforces this differentially.
+    parallel:
+        Worker count for the sharded parallel tick engine (see
+        :mod:`repro.sim.parallel`).  ``0`` (the default) disables it;
+        any positive count implies ``fast`` and runs each cycle's tick
+        phase as a stage schedule over the component shards derived by
+        :mod:`repro.sim.partition`, with cross-shard wakes and event
+        publishes deferred to stage barriers.  Topologies that do not
+        yield at least two shard groups automatically fall back to the
+        serial fast path.  Results are byte-identical to the reference
+        path either way; the three-way oracle in ``repro.verify``
+        enforces this differentially.
+    parallel_backend:
+        ``"auto"`` (measure whether a thread pool beats inline staged
+        execution on this host, once per process), ``"threads"``, or
+        ``"inline"``.
     """
 
     def __init__(self, name: str = "sim", clock_hz: float = 150e6,
-                 fast: bool = False) -> None:
+                 fast: bool = False, parallel: int = 0,
+                 parallel_backend: str = "auto") -> None:
         if clock_hz <= 0:
             raise SimulationError("clock_hz must be positive")
+        if parallel < 0:
+            raise SimulationError("parallel worker count must be >= 0")
         self.name = name
         self.clock_hz = clock_hz
-        self.fast = bool(fast)
+        self.fast = bool(fast) or bool(parallel)
+        #: sharded-engine worker count (0 = disabled); see repro.sim.parallel
+        self.parallel = int(parallel)
+        self.parallel_backend = parallel_backend
+        self._parallel_engine = None
+        #: when armed (by the parallel engine during a sharded tick
+        #: phase), wake() / _wake_component() hand their target to this
+        #: callable instead of mutating the scheduling dicts; the engine
+        #: replays the wakes at the stage barrier in serial order
+        self._wake_router = None
         self._cycle = 0
         self._components: List[Component] = []
         self._channels: List[Channel] = []
@@ -226,6 +253,15 @@ class Simulator:
         heap entries when they next sleep; superseded entries go stale
         and are dropped by the heap.
         """
+        router = self._wake_router
+        if router is not None:
+            self._quiescent_until = 0
+            router(None)
+            return
+        self._wake_all_direct()
+
+    def _wake_all_direct(self) -> None:
+        """The un-routed body of :meth:`wake` (main thread only)."""
         self._quiescent_until = 0
         asleep = self._asleep
         if asleep:
@@ -240,6 +276,15 @@ class Simulator:
 
     def _wake_component(self, component: Component) -> None:
         """Wake one sleeping component (see :meth:`Component.wake`)."""
+        router = self._wake_router
+        if router is not None:
+            self._quiescent_until = 0
+            router(component)
+            return
+        self._wake_component_direct(component)
+
+    def _wake_component_direct(self, component: Component) -> None:
+        """The un-routed body of :meth:`_wake_component`."""
         self._quiescent_until = 0
         if component._k_asleep:
             component._k_asleep = False
@@ -247,6 +292,13 @@ class Simulator:
             del self._asleep[component]
             self._awake[component] = True
             self._wakeheap.invalidate(component)
+
+    def _wake_direct(self, target: "Component | None") -> None:
+        """Un-routed wake dispatch (parallel-engine fallback hook)."""
+        if target is None:
+            self._wake_all_direct()
+        else:
+            self._wake_component_direct(target)
 
     # ------------------------------------------------------------------
     # time
@@ -274,9 +326,43 @@ class Simulator:
                 f"simulator {self.name!r} stepped after finish()")
         self._quiescent_until = 0
         if self.fast:
-            self._run_fast(self._cycle + 1)
+            self._advance(self._cycle + 1)
         else:
             self._reference_cycle()
+
+    def _advance(self, end: int) -> None:
+        """Advance to ``end`` on the best enabled fast engine.
+
+        Routes to the sharded parallel engine when one is configured
+        *and* the current wiring partitions into at least two shard
+        groups; otherwise (including mid-run, if registrations reshape
+        the wiring) the serial fast path runs.  Both produce identical
+        results, so the routing is purely a performance decision.
+        """
+        if self.parallel and self._parallel_engine_active():
+            self._parallel_engine.run_to(end)
+        else:
+            self._run_fast(end)
+
+    def _parallel_engine_active(self) -> bool:
+        engine = self._parallel_engine
+        if engine is None:
+            from .parallel import ParallelEngine
+            engine = self._parallel_engine = ParallelEngine(
+                self, self.parallel, self.parallel_backend)
+        return engine.active()
+
+    @property
+    def parallel_plan(self):
+        """The current :class:`~repro.sim.partition.ShardPlan` (or None)."""
+        engine = self._parallel_engine
+        return None if engine is None else engine.plan
+
+    @property
+    def parallel_shard_stats(self):
+        """Per-shard :class:`KernelSkipStats` (empty dict when serial)."""
+        engine = self._parallel_engine
+        return {} if engine is None else dict(engine.shard_stats)
 
     def _reference_cycle(self) -> None:
         """One cycle the long way: tick everything, commit dirty channels."""
@@ -396,7 +482,7 @@ class Simulator:
         heap_push = heap.push
         components = self._components
         dirty = self._dirty_channels
-        wake = self._wake_component
+        wake = self._wake_component_direct
         ran_total = 0
         skipped = 0
         slept = 0
@@ -530,7 +616,7 @@ class Simulator:
             raise SimulationError("cannot run a negative number of cycles")
         self._quiescent_until = 0
         if self.fast:
-            self._run_fast(self._cycle + cycles)
+            self._advance(self._cycle + cycles)
             return
         for _ in range(cycles):
             if self._finished:
@@ -568,8 +654,12 @@ class Simulator:
             stride = min(check_every, max_cycles - elapsed)
             if self.fast:
                 # note: no _quiescent_until reset between strides — an
-                # observational predicate cannot unfreeze the system
-                self._run_fast(self._cycle + stride)
+                # observational predicate cannot unfreeze the system.
+                # _advance runs exactly `stride` cycles on either engine
+                # (the parallel engine checks the stage barrier's cycle
+                # count against the same bound), so the predicate is
+                # sampled on identical cycle boundaries serial/parallel.
+                self._advance(self._cycle + stride)
             else:
                 for _ in range(stride):
                     self.step()
@@ -578,6 +668,8 @@ class Simulator:
     def finish(self) -> None:
         """Mark the simulation as complete; further steps raise."""
         self._finished = True
+        if self._parallel_engine is not None:
+            self._parallel_engine.close()
 
     # ------------------------------------------------------------------
     # introspection

@@ -128,13 +128,18 @@ class Tracer:
 
         for action in on:
             if action == "push":
-                channel.subscribe_push(
-                    lambda cycle, item: self.record(
-                        cycle, source, "push", **_describe(item)))
+                on_push = (lambda cycle, item: self.record(
+                    cycle, source, "push", **_describe(item)))
+                # identify the tracer as this listener's owner so the
+                # parallel-kernel partitioner serializes every channel
+                # sharing it (the ring buffer is shared mutable state)
+                on_push._owner = self
+                channel.subscribe_push(on_push)
             elif action == "pop":
-                channel.subscribe_pop(
-                    lambda cycle, item: self.record(
-                        cycle, source, "pop", **_describe(item)))
+                on_pop = (lambda cycle, item: self.record(
+                    cycle, source, "pop", **_describe(item)))
+                on_pop._owner = self
+                channel.subscribe_pop(on_pop)
             else:
                 raise ValueError(
                     f"attach_channel actions are 'push'/'pop', got {action!r}")

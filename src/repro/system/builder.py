@@ -19,6 +19,7 @@ This is the library's main entry point::
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Union
 
 from ..axi.port import AxiLink
@@ -63,7 +64,8 @@ class SocSystem:
               interconnect: str = "hyperconnect", n_ports: int = 2,
               period: int = 65536, with_store: bool = False,
               max_granularity: Optional[int] = None,
-              name: str = "soc", fast: bool = False) -> "SocSystem":
+              name: str = "soc", fast: bool = False,
+              parallel: Optional[int] = None) -> "SocSystem":
         """Assemble a system.
 
         Parameters
@@ -86,8 +88,17 @@ class SocSystem:
         fast:
             Enable the simulator's quiescence-aware fast path (same
             results, fewer Python-level ticks; see ``repro.sim.kernel``).
+        parallel:
+            Worker count for the sharded parallel tick engine (same
+            results again; see ``repro.sim.parallel``).  ``None`` reads
+            the ``REPRO_PARALLEL`` environment variable (default 0,
+            i.e. disabled), so whole experiment suites can be switched
+            over without touching call sites.
         """
-        sim = Simulator(name, clock_hz=platform.pl_clock_hz, fast=fast)
+        if parallel is None:
+            parallel = int(os.environ.get("REPRO_PARALLEL", "0") or 0)
+        sim = Simulator(name, clock_hz=platform.pl_clock_hz, fast=fast,
+                        parallel=parallel)
         store = MemoryStore() if with_store else None
         if interconnect == "hyperconnect":
             master = AxiLink(sim, f"{name}.m",

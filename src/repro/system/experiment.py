@@ -56,7 +56,9 @@ class ChannelLatencies:
 
 def measure_channel_latencies(interconnect: str,
                               platform: Platform = ZCU102,
-                              fast: bool = False) -> ChannelLatencies:
+                              fast: bool = False,
+                              parallel: Optional[int] = None,
+                              ) -> ChannelLatencies:
     """Fig. 3(a) procedure: per-channel propagation in isolation.
 
     One DMA issues a read and a write; probes time each beat from its
@@ -66,7 +68,7 @@ def measure_channel_latencies(interconnect: str,
     without producer-side queueing (see the engine's ``w_beat_gap``).
     """
     soc = SocSystem.build(platform, interconnect=interconnect, n_ports=2,
-                          fast=fast)
+                          fast=fast, parallel=parallel)
     probes = {
         "AR": PropagationProbe(soc.port(0).ar, soc.master_link.ar),
         "AW": PropagationProbe(soc.port(0).aw, soc.master_link.aw),
@@ -89,7 +91,8 @@ def measure_channel_latencies(interconnect: str,
 
 def measure_access_time(interconnect: str, nbytes: int,
                         platform: Platform = ZCU102,
-                        fast: bool = False) -> int:
+                        fast: bool = False,
+                        parallel: Optional[int] = None) -> int:
     """Fig. 3(b) procedure: memory access time for one transfer size.
 
     A single DMA reads ``nbytes`` through an otherwise idle system; the
@@ -98,7 +101,7 @@ def measure_access_time(interconnect: str, nbytes: int,
     measurement here because the system is deterministic in isolation).
     """
     soc = SocSystem.build(platform, interconnect=interconnect, n_ports=2,
-                          fast=fast)
+                          fast=fast, parallel=parallel)
     dma = AxiDma(soc.sim, "dma", soc.port(0))
     job = dma.enqueue_read(0x1000_0000, nbytes)
     soc.run_until_quiescent(max_cycles=50_000_000)
@@ -126,7 +129,8 @@ def run_case_study(interconnect: str,
                    platform: Platform = ZCU102,
                    period: int = 2048,
                    dma_burst_len: int = 64,
-                   fast: bool = False) -> CaseStudyResult:
+                   fast: bool = False,
+                   parallel: Optional[int] = None) -> CaseStudyResult:
     """Sections VI-C procedure: CHaiDNN (port 0) + greedy DMA (port 1).
 
     ``shares`` maps port index to a reserved bandwidth fraction (the
@@ -141,7 +145,7 @@ def run_case_study(interconnect: str,
     simulation windows short enough for repeated benchmarking.
     """
     soc = SocSystem.build(platform, interconnect=interconnect, n_ports=2,
-                          period=period, fast=fast)
+                          period=period, fast=fast, parallel=parallel)
     chaidnn = None
     dma = None
     if run_chaidnn:

@@ -129,9 +129,16 @@ def _arm(hypervisor: Hypervisor, scenario: Scenario,
     hypervisor.enable_fault_recovery()
 
 
-def build_system(scenario: Scenario, fast: bool) -> System:
-    """Instantiate the scenario's topology family on a fresh simulator."""
-    sim = Simulator("verify", clock_hz=ZCU102.pl_clock_hz, fast=fast)
+def build_system(scenario: Scenario, fast: bool,
+                 parallel: int = 0) -> System:
+    """Instantiate the scenario's topology family on a fresh simulator.
+
+    ``parallel`` is the sharded-engine worker count (0 = serial); it is
+    the third leg of the kernel-equivalence oracle, exercised against
+    the reference and serial-fast legs by ``check_equivalence``.
+    """
+    sim = Simulator("verify", clock_hz=ZCU102.pl_clock_hz, fast=fast,
+                    parallel=parallel)
     timing = OOO_TIMING if scenario.family == "ooo" else ZCU102.dram
     plans = scenario.ports
     stations: List[Station] = []
@@ -250,6 +257,7 @@ def run_system(system: System) -> RunResult:
                      healthy_done=healthy_done, now=sim.now)
 
 
-def run_scenario(scenario: Scenario, fast: bool) -> RunResult:
+def run_scenario(scenario: Scenario, fast: bool,
+                 parallel: int = 0) -> RunResult:
     """Convenience: build then run."""
-    return run_system(build_system(scenario, fast))
+    return run_system(build_system(scenario, fast, parallel=parallel))

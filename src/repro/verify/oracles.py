@@ -7,9 +7,9 @@ containment bound:
    (genuinely or via synthesized error responses) within the run;
 2. **protocol** — strict :class:`~repro.axi.LinkChecker` monitors on
    every compliant master's port stay clean;
-3. **equivalence** — the reference and fast kernel paths produce
-   bit-identical observables (traffic, events, fault statistics, elapsed
-   time);
+3. **equivalence** — the reference, fast, and sharded-parallel kernel
+   paths produce bit-identical observables (traffic, events, fault
+   statistics, elapsed time);
 4. **containment bound** — for single-rogue-master scenarios the
    measured healthy-port completion delta against the fault-free
    baseline respects
@@ -111,15 +111,17 @@ def check_protocol(scenario: Scenario, result: RunResult) -> None:
 
 
 def check_equivalence(scenario: Scenario, reference: RunResult,
-                      fast: RunResult) -> None:
-    """Oracle 3: reference and fast kernels must agree bit-for-bit."""
-    if reference.fingerprint != fast.fingerprint:
-        detail = "fingerprints differ"
+                      candidate: RunResult, label: str = "fast") -> None:
+    """Oracle 3: a candidate kernel path must agree bit-for-bit with the
+    reference path.  ``label`` names the candidate ("fast", "parallel=2",
+    ...) in the violation message."""
+    if reference.fingerprint != candidate.fingerprint:
+        detail = f"{label} fingerprint differs from reference"
         for index, (r, f) in enumerate(zip(reference.fingerprint,
-                                           fast.fingerprint)):
+                                           candidate.fingerprint)):
             if r != f:
-                detail = (f"fingerprint component {index} differs: "
-                          f"{r!r} != {f!r}")
+                detail = (f"{label} fingerprint component {index} "
+                          f"differs: {r!r} != {f!r}")
                 break
         raise OracleViolation("equivalence", detail, scenario)
 
@@ -185,18 +187,24 @@ def dump_falsifying_example(scenario: Scenario, oracle: str) -> Path:
     return path
 
 
-def check_scenario(scenario: Scenario) -> RunResult:
+def check_scenario(scenario: Scenario, parallel: int = 2) -> RunResult:
     """Run every oracle family on one scenario; returns the reference run.
 
-    Runs the scenario on both kernel paths, plus the fault-free baseline
-    (reference path) when the containment bound applies.  On violation,
-    the scenario is dumped to the artifact directory and the
-    :class:`OracleViolation` re-raised for hypothesis to shrink.
+    Runs the scenario on all three kernel paths — reference, fast, and
+    the sharded parallel engine with ``parallel`` workers (0 skips the
+    parallel leg) — plus the fault-free baseline (reference path) when
+    the containment bound applies.  On violation, the scenario is dumped
+    to the artifact directory and the :class:`OracleViolation` re-raised
+    for hypothesis to shrink.
     """
     try:
         reference = run_scenario(scenario, fast=False)
         fast = run_scenario(scenario, fast=True)
-        check_equivalence(scenario, reference, fast)
+        check_equivalence(scenario, reference, fast, label="fast")
+        if parallel:
+            sharded = run_scenario(scenario, fast=False, parallel=parallel)
+            check_equivalence(scenario, reference, sharded,
+                              label=f"parallel={parallel}")
         check_liveness(scenario, reference)
         check_protocol(scenario, reference)
         if containment_bound_for(scenario) is not None:

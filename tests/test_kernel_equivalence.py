@@ -1,15 +1,16 @@
-"""Differential harness: the fast kernel path must equal the reference.
+"""Differential harness: every kernel path must equal the reference.
 
-The quiescence-aware fast path (``Simulator(fast=True)``) ships only
-because this harness proves it observationally equivalent to the
-reference path on every system shape the repo models: the Fig. 3(a)
+The quiescence-aware fast path (``Simulator(fast=True)``) and the
+sharded parallel engine (``Simulator(parallel=N)``) ship only because
+this harness proves them observationally equivalent to the reference
+path on every system shape the repo models: the Fig. 3(a)
 channel-latency and Fig. 3(b) access-time procedures, the Fig. 4/5 case
 study, its ablation configurations, misbehaving-HA and fault-injection
-scenarios, and seeded random traffic.  Each scenario is run twice —
-``fast=False`` then ``fast=True`` — and everything observable is
-compared: elapsed cycle counts, per-engine traffic fingerprints,
-interconnect and memory counters, monitor latencies, trace events, and
-final memory contents.
+scenarios, and seeded random traffic.  Each scenario is run on
+``fast=False``, ``fast=True``, and (where the harness supports it)
+``parallel=N``, and everything observable is compared: elapsed cycle
+counts, per-engine traffic fingerprints, interconnect and memory
+counters, monitor latencies, trace events, and final memory contents.
 
 If one of these tests fails after a component change, the component's
 ``is_quiescent`` is lying (claiming a tick is a no-op when it is not):
@@ -469,12 +470,13 @@ class TestRandomizedEquivalence:
         period=st.sampled_from((512, 2048, 65536)),
         window=st.integers(min_value=500, max_value=5000),
         intervene=st.booleans(),
+        workers=st.integers(min_value=2, max_value=4),
     )
     def test_random_system_shapes(self, n_ports, kinds, seed, period,
-                                  window, intervene):
-        def run(fast):
+                                  window, intervene, workers):
+        def run(fast, parallel=0):
             soc = SocSystem.build(ZCU102, n_ports=n_ports, period=period,
-                                  fast=fast)
+                                  fast=fast, parallel=parallel)
             engines = [engine for port in range(n_ports)
                        for engine in [_attach_master(
                            soc, port, kinds[port], seed + port)]
@@ -491,3 +493,54 @@ class TestRandomizedEquivalence:
 
         reference, fast = _both(run)
         assert reference == fast
+        sharded = run(fast=False, parallel=workers)
+        assert sharded == reference
+
+
+# ----------------------------------------------------------------------
+# three-way corpus replay: reference / fast / parallel must all hash to
+# the digest recorded when each scenario was promoted into the corpus
+# ----------------------------------------------------------------------
+
+from pathlib import Path  # noqa: E402
+
+from repro.verify import fingerprint_digest, load_corpus  # noqa: E402
+from repro.verify.harness import run_scenario  # noqa: E402
+
+CORPUS_PATH = Path(__file__).parent / "data" / "fault_corpus.json"
+CORPUS = load_corpus(CORPUS_PATH)
+
+
+class TestParallelCorpusEquivalence:
+    """Every promoted regression scenario, on all three kernel paths.
+
+    ``tests/test_verify_corpus.py`` replays the corpus through the full
+    oracle stack (which includes the three-way equivalence oracle); this
+    class pins the stronger per-path property directly — each path's
+    fingerprint independently hashes to the checked-in digest, so a
+    divergence is attributed to the guilty path instead of surfacing as
+    a generic oracle failure.
+    """
+
+    @pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
+    def test_corpus_digests_per_path(self, entry):
+        reference = run_scenario(entry.scenario, fast=False)
+        assert fingerprint_digest(reference) == entry.digest
+        fast = run_scenario(entry.scenario, fast=True)
+        assert fingerprint_digest(fast) == entry.digest, "fast path drifted"
+        for workers in (2, 4):
+            sharded = run_scenario(entry.scenario, fast=False,
+                                   parallel=workers)
+            assert fingerprint_digest(sharded) == entry.digest, (
+                f"parallel={workers} drifted")
+
+    @pytest.mark.parametrize("entry", CORPUS[:2], ids=lambda e: e.name)
+    def test_corpus_digests_threads_backend(self, entry):
+        """Same property with a real worker pool instead of the inline
+        backend the auto heuristic picks on small hosts."""
+        from repro.verify.harness import build_system, run_system
+
+        system = build_system(entry.scenario, fast=False, parallel=3)
+        system.sim.parallel_backend = "threads"
+        result = run_system(system)
+        assert fingerprint_digest(result) == entry.digest
