@@ -5,11 +5,18 @@ budget of sub-transactions per period.  The delivered bandwidth fraction
 should track the configured fraction linearly across the range, with
 decoupling as the hard-zero endpoint — this is what makes the HC-X-Y
 configurations of Fig. 5 composable.
+
+The sweep rides the declarative campaign machinery: a
+:class:`~repro.verify.paramspace.ParamSpace` over the configured share
+compiles (via the registered ``reservation`` grid's compiler) into
+greedy two-port :class:`Scenario` objects, and the campaign runner
+streams them through the harness with the liveness/protocol oracles
+armed — so the ablation now *also* asserts the sweep is oracle-clean,
+not just linear.
 """
 
-from repro.masters import GreedyTrafficGenerator
-from repro.platforms import ZCU102
-from repro.system import SocSystem
+from repro.verify import CampaignConfig, ParamSpace, run_campaign
+from repro.verify.paramspace import compile_reservation
 
 from conftest import publish, wall_ms
 
@@ -17,28 +24,30 @@ WINDOW = 150_000
 PERIOD = 2048
 FRACTIONS = (0.1, 0.25, 0.5, 0.75, 0.9)
 
+#: the reservation axis: decoupled endpoint plus the linear range
+SPACE = ParamSpace({
+    "share0": (0.0,) + FRACTIONS,
+    "period": (PERIOD,),
+    "job_bytes": (16384,),
+    "horizon": (WINDOW,),
+}, mode="full")
 
-def _delivered_fraction(configured):
-    soc = SocSystem.build(ZCU102, n_ports=2, period=PERIOD)
-    limited = GreedyTrafficGenerator(soc.sim, "limited", soc.port(0),
-                                     job_bytes=16384, depth=4)
-    free = GreedyTrafficGenerator(soc.sim, "free", soc.port(1),
-                                  job_bytes=16384, depth=4)
-    if configured == 0.0:
-        soc.driver.decouple(0)
-    else:
-        soc.driver.set_bandwidth_shares(
-            {0: configured, 1: round(1.0 - configured, 4)})
-    soc.sim.run(WINDOW)
-    total = limited.bytes_read + free.bytes_read
-    return limited.bytes_read / max(1, total)
+
+def _delivered_fraction(record):
+    limited, free = record["engines"]
+    total = limited["bytes_read"] + free["bytes_read"]
+    return limited["bytes_read"] / max(1, total)
 
 
 def _run_sweep():
-    results = {0.0: _delivered_fraction(0.0)}
-    for fraction in FRACTIONS:
-        results[fraction] = _delivered_fraction(fraction)
-    return results
+    scenarios = [compile_reservation(a) for a in SPACE]
+    result = run_campaign(
+        scenarios, workers=0,
+        config=CampaignConfig(checks=("liveness", "protocol"),
+                              embed_scenario=False))
+    assert result.ok, result.counts
+    return {scenario.shares[0]: _delivered_fraction(record)
+            for scenario, record in zip(scenarios, result.records)}
 
 
 def test_ablation_reservation(benchmark):

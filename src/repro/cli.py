@@ -8,6 +8,7 @@ experiment harnesses::
     python -m repro case-study --share 70           # Fig. 5 row (HC-70-30)
     python -m repro resources --ports 4             # Table I extrapolated
     python -m repro wcrt --bytes 65536 --budget 32 --period 1024
+    python -m repro campaign --grid smoke --workers 4 -o results.jsonl
     python -m repro info
 """
 
@@ -123,6 +124,55 @@ def cmd_wcrt(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Stream a named scenario grid through the campaign runner."""
+    from .verify import CampaignConfig, grid_names, grid_scenarios, \
+        run_campaign
+
+    if args.list:
+        from .verify.paramspace import COMPOSITES, GRIDS
+        for name in grid_names():
+            if name in COMPOSITES:
+                members = ", ".join(COMPOSITES[name])
+                print(f"{name:<12} composite of: {members}")
+            else:
+                print(f"{name:<12} {GRIDS[name].description}")
+        return 0
+    if args.grid is None:
+        raise SystemExit("campaign: --grid NAME required (or --list)")
+    scenarios, checks = grid_scenarios(
+        args.grid, mode=args.mode, seed=args.seed, samples=args.samples,
+        limit=args.limit, horizon=args.horizon)
+    if args.checks:
+        checks = tuple(args.checks)
+    config = CampaignConfig(checks=checks,
+                            kernel_parallel=args.kernel_parallel)
+    print(f"campaign {args.grid!r}: {len(scenarios)} scenarios, "
+          f"checks={','.join(checks) or '-'} "
+          f"workers={max(1, args.workers)}", flush=True)
+    result = run_campaign(scenarios, workers=args.workers, config=config,
+                          output=args.output)
+    counts = " ".join(f"{verdict}={count}"
+                      for verdict, count in sorted(result.counts.items()))
+    print(f"verdicts: {counts}")
+    print(f"throughput: {result.scenarios_per_sec:.2f} scenarios/s "
+          f"({result.wall_s:.1f} s wall, {result.total_cycles} "
+          f"simulated cycles)")
+    print(f"digest: {result.digest}")
+    if args.output is not None:
+        print(f"results: {args.output}")
+    if not result.ok:
+        failing = [r for r in result.records if r["verdict"] != "pass"]
+        for record in failing[:10]:
+            print(f"  [{record['verdict']}] scenario {record['index']} "
+                  f"({record['scenario_id']}): "
+                  f"{record['oracle'] or ''} {record['detail']}")
+        if len(failing) > 10:
+            print(f"  ... and {len(failing) - 10} more")
+        return 1
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Library, model, and platform summary."""
     print(f"repro {__version__} — AXI HyperConnect reproduction "
@@ -188,6 +238,39 @@ def build_parser() -> argparse.ArgumentParser:
     wcrt.add_argument("--budget", type=int, default=None)
     wcrt.add_argument("--period", type=int, default=None)
     wcrt.set_defaults(handler=cmd_wcrt)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="stream a scenario grid through the multi-process "
+             "verification campaign runner")
+    campaign.add_argument("--grid", default=None,
+                          help="grid name (see --list)")
+    campaign.add_argument("--list", action="store_true",
+                          help="list available grids and exit")
+    campaign.add_argument("--mode", default=None,
+                          choices=["full", "pairwise", "sample"],
+                          help="coverage mode (default: per-grid)")
+    campaign.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="worker processes (<=1 runs inline)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="grid-generation seed")
+    campaign.add_argument("--samples", type=int, default=64,
+                          help="draws for --mode sample")
+    campaign.add_argument("--limit", type=int, default=None,
+                          help="cap the scenario count")
+    campaign.add_argument("--horizon", type=int, default=None,
+                          help="override every scenario's horizon")
+    campaign.add_argument("--checks", nargs="+", default=None,
+                          choices=["equivalence", "liveness", "protocol",
+                                   "containment"],
+                          help="oracle families (default: per-grid)")
+    campaign.add_argument("--kernel-parallel", type=int, default=0,
+                          metavar="N",
+                          help="sharded-kernel workers for the parallel "
+                               "equivalence leg (0 = skip)")
+    campaign.add_argument("--output", "-o", default=None, metavar="FILE",
+                          help="write JSON-lines results here")
+    campaign.set_defaults(handler=cmd_campaign)
 
     commands.add_parser(
         "info", help="library and platform summary"

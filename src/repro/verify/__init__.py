@@ -7,17 +7,41 @@ topology families from them, oracle families (liveness, AXI protocol,
 fast-vs-reference kernel equivalence, analytic containment bound), and a
 replayable counterexample corpus.
 
+Campaigns are the scale-out unit: :mod:`repro.verify.paramspace`
+compiles declarative axis grids into scenario lists and
+:mod:`repro.verify.campaign` streams them across worker processes,
+aggregating verdicts into JSON-lines results (``python -m repro
+campaign``).
+
 Hypothesis strategies intentionally live in :mod:`repro.verify.
 strategies` and are **not** imported here — the runtime package stays
 import-clean without the test dependency.
 """
 
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    campaign_digest,
+    evaluate_record,
+    load_results,
+    run_campaign,
+    scenario_id,
+    write_results,
+)
 from .corpus import (
     CorpusEntry,
     add_entry,
     load_corpus,
     replay_entry,
     save_corpus,
+)
+from .paramspace import (
+    COMPOSITES,
+    GRIDS,
+    GridSpec,
+    ParamSpace,
+    grid_names,
+    grid_scenarios,
 )
 from .harness import (
     RECOVERY_POLICY,
@@ -29,6 +53,7 @@ from .harness import (
     run_system,
 )
 from .oracles import (
+    DEFAULT_CHECKS,
     OracleViolation,
     check_containment_bound,
     check_equivalence,
@@ -37,10 +62,13 @@ from .oracles import (
     check_scenario,
     containment_bound_for,
     dump_falsifying_example,
+    evaluate_scenario,
     fingerprint_digest,
 )
 from .scenario import (
+    FABRICS,
     FAMILIES,
+    JOB_KINDS,
     MASTER_FAULTS,
     MEMORY_FAULT_FAMILIES,
     MEMORY_FAULTS,
@@ -52,6 +80,20 @@ from .scenario import (
 )
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "campaign_digest",
+    "evaluate_record",
+    "load_results",
+    "run_campaign",
+    "scenario_id",
+    "write_results",
+    "COMPOSITES",
+    "GRIDS",
+    "GridSpec",
+    "ParamSpace",
+    "grid_names",
+    "grid_scenarios",
     "CorpusEntry",
     "add_entry",
     "load_corpus",
@@ -64,6 +106,7 @@ __all__ = [
     "build_system",
     "run_scenario",
     "run_system",
+    "DEFAULT_CHECKS",
     "OracleViolation",
     "check_containment_bound",
     "check_equivalence",
@@ -72,8 +115,11 @@ __all__ = [
     "check_scenario",
     "containment_bound_for",
     "dump_falsifying_example",
+    "evaluate_scenario",
     "fingerprint_digest",
+    "FABRICS",
     "FAMILIES",
+    "JOB_KINDS",
     "MASTER_FAULTS",
     "MEMORY_FAULT_FAMILIES",
     "MEMORY_FAULTS",

@@ -85,3 +85,22 @@ def replay_entry(entry: CorpusEntry) -> Tuple[RunResult, str]:
     reference result and its digest (callers assert digest identity)."""
     result = check_scenario(entry.scenario)
     return result, fingerprint_digest(result)
+
+
+def run_corpus_campaign(path, workers: int = 0, kernel_parallel: int = 2):
+    """Replay the whole corpus through the campaign runner.
+
+    Returns ``(entries, CampaignResult)`` with records in corpus order;
+    callers assert ``result.ok`` and per-record ``digest`` identity
+    against each entry's checked-in digest.  This is the corpus replay
+    (`tests/test_verify_corpus.py`) running on the same machinery as the
+    large grid campaigns, so the runner itself is regression-covered by
+    the corpus digests.
+    """
+    from .campaign import CampaignConfig, run_campaign
+
+    entries = load_corpus(path)
+    result = run_campaign(
+        [entry.scenario for entry in entries], workers=workers,
+        config=CampaignConfig(kernel_parallel=kernel_parallel))
+    return entries, result

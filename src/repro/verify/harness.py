@@ -15,7 +15,7 @@ from ..axi import LinkChecker
 from ..axi.port import AxiLink
 from ..hyperconnect import HyperConnect, InOrderAdapter
 from ..hypervisor import Hypervisor, RecoveryPolicy
-from ..masters import AxiDma, FaultInjectingMaster
+from ..masters import AxiDma, FaultInjectingMaster, GreedyTrafficGenerator
 from ..memory import (
     DramTiming,
     FaultInjectingMemory,
@@ -25,6 +25,7 @@ from ..memory import (
 )
 from ..platforms import ZCU102
 from ..sim import Simulator
+from ..smartconnect import SmartConnect, smartconnect_master_link
 from .scenario import PortPlan, Scenario
 
 #: short retry leash so unrecoverable faults give up inside the horizon
@@ -45,14 +46,18 @@ class Station:
     plan_index: int
     plan: PortPlan
     engine: object
-    hyperconnect: HyperConnect
+    hyperconnect: object          # HyperConnect or SmartConnect
     port_index: int
     checker: Optional[LinkChecker]
     jobs: List[object] = field(default_factory=list)
 
     @property
     def supervisor(self):
-        return self.hyperconnect.supervisors[self.port_index]
+        """The port's Transaction Supervisor (None on SmartConnect)."""
+        supervisors = getattr(self.hyperconnect, "supervisors", None)
+        if supervisors is None:
+            return None
+        return supervisors[self.port_index]
 
 
 @dataclass
@@ -110,6 +115,11 @@ def _make_engine(sim: Simulator, name: str, plan: PortPlan, link):
             sim, name, link, fault_mode=plan.fault.mode,
             hang_after_beats=plan.fault.hang_after_beats,
             persistent=plan.fault.persistent)
+    if plan.is_greedy:
+        __, window_base, job_bytes = plan.jobs[0]
+        return GreedyTrafficGenerator(sim, name, link,
+                                      job_bytes=job_bytes,
+                                      window_base=window_base, depth=4)
     return AxiDma(sim, name, link)
 
 
@@ -125,6 +135,18 @@ def _arm(hypervisor: Hypervisor, scenario: Scenario,
         hypervisor.driver.set_bandwidth_shares(
             {port: share for port in range(hc.n_ports)},
             period=scenario.period)
+    elif scenario.shares is not None:
+        # flat family only: ports map 1:1 onto the single HyperConnect.
+        # 0.0 decouples the port outright; 1.0 leaves it unreserved.
+        for port, share in enumerate(scenario.shares):
+            if share == 0.0:
+                hypervisor.driver.decouple(port)
+        reserved = {port: share
+                    for port, share in enumerate(scenario.shares)
+                    if 0.0 < share < 1.0}
+        if reserved:
+            hypervisor.driver.set_bandwidth_shares(
+                reserved, period=scenario.period)
     hypervisor.default_recovery_policy = RECOVERY_POLICY
     hypervisor.enable_fault_recovery()
 
@@ -152,28 +174,50 @@ def build_system(scenario: Scenario, fast: bool,
         stations.append(Station(index, plan, engine, hc, port, checker))
 
     if scenario.family == "cascade":
+        # depth-d chain: each level before the innermost has 2 ports —
+        # port 0 cascades inward, port 1 hosts one leaf — and the
+        # innermost level hosts every remaining plan.  Depth 2 keeps the
+        # historic "outer"/"inner" naming (corpus digests pin it).
+        depth = scenario.cascade_depth
         link = AxiLink(sim, "m", data_bytes=16)
         outer = HyperConnect(sim, "outer", 2, link)
         memory = _make_memory(sim, scenario, link, timing)
-        inner = HyperConnect(sim, "inner", len(plans) - 1, outer.port(0))
-        hyperconnects = [outer, inner]
+        hyperconnects = [outer]
+        for level in range(1, depth):
+            innermost = level == depth - 1
+            name = "inner" if innermost else f"mid{level}"
+            n_ports = len(plans) - (depth - 1) if innermost else 2
+            hyperconnects.append(HyperConnect(
+                sim, name, n_ports, hyperconnects[-1].port(0)))
         station(0, outer, 1)
-        for index in range(1, len(plans)):
-            station(index, inner, index - 1)
+        for level in range(1, depth - 1):
+            station(level, hyperconnects[level], 1)
+        inner = hyperconnects[-1]
+        for index in range(depth - 1, len(plans)):
+            station(index, inner, index - (depth - 1))
     elif scenario.family == "multiport":
         hp0 = AxiLink(sim, "hp0", data_bytes=16)
-        hp1 = AxiLink(sim, "hp1", data_bytes=16)
+        if scenario.fabric == "mixed":
+            hp1 = smartconnect_master_link(sim, "hp1", data_bytes=16)
+        else:
+            hp1 = AxiLink(sim, "hp1", data_bytes=16)
         hc0 = HyperConnect(sim, "hc0", len(plans) - 1, hp0)
-        hc1 = HyperConnect(sim, "hc1", 1, hp1)
+        hc1 = (SmartConnect(sim, "hc1", 1, hp1)
+               if scenario.fabric == "mixed"
+               else HyperConnect(sim, "hc1", 1, hp1))
         memory = MultiPortMemorySubsystem(sim, "mem", [hp0, hp1],
                                           timing=timing)
         hyperconnects = [hc0, hc1]
         for index in range(len(plans) - 1):
             station(index, hc0, index)
         station(len(plans) - 1, hc1, 0)
-    else:  # flat / ooo share the single-HC layout
-        link = AxiLink(sim, "m", data_bytes=16)
-        hc = HyperConnect(sim, "hc", len(plans), link)
+    else:  # flat / ooo share the single-interconnect layout
+        if scenario.fabric == "smartconnect":
+            link = smartconnect_master_link(sim, "m", data_bytes=16)
+            hc = SmartConnect(sim, "hc", len(plans), link)
+        else:
+            link = AxiLink(sim, "m", data_bytes=16)
+            hc = HyperConnect(sim, "hc", len(plans), link)
         if scenario.family == "ooo":
             down = AxiLink(sim, "down", data_bytes=16)
             InOrderAdapter(sim, "adapter", link, down)
@@ -187,6 +231,8 @@ def build_system(scenario: Scenario, fast: bool,
 
     hypervisors = []
     for hc in hyperconnects:
+        if not isinstance(hc, HyperConnect):
+            continue               # SmartConnect has no hypervisor hooks
         hypervisor = Hypervisor(hc)
         _arm(hypervisor, scenario, stations)
         hypervisors.append(hypervisor)
@@ -194,6 +240,8 @@ def build_system(scenario: Scenario, fast: bool,
     for index, plan in enumerate(plans):
         st = stations[index]
         for kind, address, nbytes in plan.jobs:
+            if kind == "greedy":
+                continue           # the engine self-issues its traffic
             if kind == "read":
                 st.jobs.append(st.engine.enqueue_read(address, nbytes))
             elif kind == "write":
@@ -234,8 +282,9 @@ def run_system(system: System) -> RunResult:
         if st.checker is not None else None
         for st in system.stations)
     trips = tuple(
-        st.supervisor.fault_stats.watchdog_trips
-        + st.supervisor.fault_stats.protocol_trips
+        (st.supervisor.fault_stats.watchdog_trips
+         + st.supervisor.fault_stats.protocol_trips)
+        if st.supervisor is not None else 0
         for st in system.stations)
     healthy_done: Optional[int] = None
     for st in system.stations:
@@ -249,6 +298,7 @@ def run_system(system: System) -> RunResult:
         tuple(tuple(sorted(info.items())) for info in engines),
         tuple(tuple(sorted(d.items())) for d in sim.events.as_dicts()),
         tuple(tuple(sorted(st.supervisor.fault_stats.as_dict().items()))
+              if st.supervisor is not None else ()
               for st in system.stations),
         sim.now,
     )

@@ -34,6 +34,9 @@ from .scenario import Scenario, canonical_json
 #: where falsifying examples are written (CI uploads this directory)
 ARTIFACT_DIR_ENV = "VERIFY_ARTIFACT_DIR"
 DEFAULT_ARTIFACT_DIR = "fuzz-artifacts"
+#: the oracle families, in the order :func:`evaluate_scenario` runs them;
+#: campaigns subset this (e.g. greedy bandwidth sweeps drop "liveness")
+DEFAULT_CHECKS = ("equivalence", "liveness", "protocol", "containment")
 
 
 class OracleViolation(AssertionError):
@@ -74,9 +77,18 @@ def check_liveness(scenario: Scenario, result: RunResult) -> None:
     A hung reader is the one legitimate exception — it *refuses* its
     answers, so its synthesized beats pile up behind its own closed
     gate.  Ports that never tripped and saw a healthy memory must also
-    have finished every job, error-free.
+    have finished every job, error-free.  Greedy (saturating) ports and
+    deliberately decoupled ports (share 0.0) have no completion
+    obligation and are skipped.
     """
-    for info, trip_count in zip(result.engines, result.trips):
+    for index, (info, trip_count) in enumerate(zip(result.engines,
+                                                   result.trips)):
+        plan = scenario.ports[index]
+        if plan.is_greedy:
+            continue
+        if (scenario.shares is not None
+                and scenario.shares[index] == 0.0):
+            continue
         if info["hung"]:
             continue
         if info["outstanding"] != 0:
@@ -158,7 +170,7 @@ def check_containment_bound(scenario: Scenario, result: RunResult,
         return  # no healthy work to compare (liveness handles the rest)
     limit = bound.healthy_port_delay_bound()
     if scenario.family == "cascade":
-        limit += bound.cascade_slack(levels=2)
+        limit += bound.cascade_slack(levels=scenario.cascade_depth)
     delta = result.healthy_done - baseline.healthy_done
     if delta > limit:
         raise OracleViolation(
@@ -187,6 +199,42 @@ def dump_falsifying_example(scenario: Scenario, oracle: str) -> Path:
     return path
 
 
+def evaluate_scenario(scenario: Scenario,
+                      checks: tuple = DEFAULT_CHECKS,
+                      parallel: int = 2) -> RunResult:
+    """Run the selected oracle families on one scenario.
+
+    ``checks`` subsets :data:`DEFAULT_CHECKS`; "equivalence" runs the
+    scenario on the fast kernel path and — with ``parallel`` > 0 — on
+    the sharded parallel engine, against the reference; "containment"
+    additionally runs the fault-free baseline when the analytic bound
+    applies.  Raises :class:`OracleViolation` on the first falsified
+    oracle; returns the reference run.  This is the worker body of the
+    campaign runner (:mod:`repro.verify.campaign`), which records
+    violations as verdicts instead of raising.
+    """
+    unknown = set(checks) - set(DEFAULT_CHECKS)
+    if unknown:
+        raise ValueError(f"unknown oracle checks {sorted(unknown)}")
+    reference = run_scenario(scenario, fast=False)
+    if "equivalence" in checks:
+        fast = run_scenario(scenario, fast=True)
+        check_equivalence(scenario, reference, fast, label="fast")
+        if parallel:
+            sharded = run_scenario(scenario, fast=False, parallel=parallel)
+            check_equivalence(scenario, reference, sharded,
+                              label=f"parallel={parallel}")
+    if "liveness" in checks:
+        check_liveness(scenario, reference)
+    if "protocol" in checks:
+        check_protocol(scenario, reference)
+    if ("containment" in checks
+            and containment_bound_for(scenario) is not None):
+        baseline = run_scenario(scenario.baseline(), fast=False)
+        check_containment_bound(scenario, reference, baseline)
+    return reference
+
+
 def check_scenario(scenario: Scenario, parallel: int = 2) -> RunResult:
     """Run every oracle family on one scenario; returns the reference run.
 
@@ -198,19 +246,7 @@ def check_scenario(scenario: Scenario, parallel: int = 2) -> RunResult:
     for hypothesis to shrink.
     """
     try:
-        reference = run_scenario(scenario, fast=False)
-        fast = run_scenario(scenario, fast=True)
-        check_equivalence(scenario, reference, fast, label="fast")
-        if parallel:
-            sharded = run_scenario(scenario, fast=False, parallel=parallel)
-            check_equivalence(scenario, reference, sharded,
-                              label=f"parallel={parallel}")
-        check_liveness(scenario, reference)
-        check_protocol(scenario, reference)
-        if containment_bound_for(scenario) is not None:
-            baseline = run_scenario(scenario.baseline(), fast=False)
-            check_containment_bound(scenario, reference, baseline)
+        return evaluate_scenario(scenario, parallel=parallel)
     except OracleViolation as violation:
         dump_falsifying_example(scenario, violation.oracle)
         raise
-    return reference

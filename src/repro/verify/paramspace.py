@@ -1,0 +1,531 @@
+"""Declarative parameter spaces compiling down to :class:`Scenario` grids.
+
+The hand-written scenario families (the seeded fault campaign, the
+ablation sweeps, the fuzz strategies' fixed ranges) each encode one
+slice of the paper's claim space.  A :class:`ParamSpace` makes the slice
+declarative instead: name the axes and their values, pick a coverage
+mode, and compile every assignment into a pure-data
+:class:`~repro.verify.scenario.Scenario` the campaign runner
+(:mod:`repro.verify.campaign`) can stream across worker processes.
+
+Three coverage modes (the litex ``ParamSpace`` idiom):
+
+* ``full`` — the exhaustive cartesian product, for small ranges;
+* ``pairwise`` — a greedy covering array that hits every *pair* of axis
+  values at least once, for broad ranges (size tracks the product of
+  the two largest axes instead of all of them);
+* ``sample`` — ``samples`` seeded draws, for unbounded exploration.
+
+All three are deterministic: the same axes + mode + seed always yield
+the same assignments in the same order, so campaign results are
+reproducible byte-for-byte.  :meth:`ParamSpace.iter_unique` stacks
+spaces (e.g. an exhaustive core grid plus a pairwise broad grid) and
+deduplicates assignments across them.
+
+The named grids in :data:`GRIDS` cover the sweeps the ROADMAP calls
+for — reservation-period sweeps, cascade depth beyond two levels, mixed
+HyperConnect+SmartConnect fabrics, and fault-injection knobs — plus the
+composite ``smoke`` grid the CI campaign job runs and the deliberately
+tiny ``throughput`` scenarios the campaign benchmark streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from itertools import combinations, product
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, \
+    Optional, Sequence, Tuple
+
+from .scenario import MasterFault, MemoryFault, PortPlan, Scenario, \
+    canonical_json
+
+MODES = ("full", "pairwise", "sample")
+#: candidate rows per greedy pairwise step (quality/speed trade-off)
+_PAIRWISE_CANDIDATES = 24
+
+
+class ParamSpace:
+    """A named-axis grid with a declarative coverage mode.
+
+    ``axes`` maps axis name to a non-empty sequence of JSON-serializable
+    values; insertion order is significant (it fixes iteration order).
+    """
+
+    def __init__(self, axes: Mapping[str, Sequence], mode: str = "full",
+                 samples: int = 64, seed: int = 0) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        if not axes:
+            raise ValueError("a ParamSpace needs at least one axis")
+        self.axes: Tuple[Tuple[str, tuple], ...] = tuple(
+            (str(name), tuple(values)) for name, values in axes.items())
+        for name, values in self.axes:
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        self.mode = mode
+        self.samples = samples
+        self.seed = seed
+        self._assignments: Optional[List[dict]] = None
+
+    # ------------------------------------------------------------------
+
+    def assignments(self) -> List[dict]:
+        """The grid's assignments, materialized once (stable order)."""
+        if self._assignments is None:
+            build = {"full": self._full, "pairwise": self._pairwise,
+                     "sample": self._sample}[self.mode]
+            self._assignments = build()
+        return list(self._assignments)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.assignments())
+
+    def __len__(self) -> int:
+        if self.mode == "full":     # closed form, no materialization
+            size = 1
+            for __, values in self.axes:
+                size *= len(values)
+            return size
+        return len(self.assignments())
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging nicety
+        shape = "x".join(str(len(v)) for __, v in self.axes)
+        return f"ParamSpace({shape}, mode={self.mode!r})"
+
+    # ------------------------------------------------------------------
+    # modes
+    # ------------------------------------------------------------------
+
+    def _full(self) -> List[dict]:
+        names = [name for name, __ in self.axes]
+        return [dict(zip(names, row))
+                for row in product(*(values for __, values in self.axes))]
+
+    def _sample(self) -> List[dict]:
+        rng = random.Random(self.seed)
+        return [{name: rng.choice(values) for name, values in self.axes}
+                for __ in range(self.samples)]
+
+    def _pairwise(self) -> List[dict]:
+        """Greedy pairwise covering array.
+
+        Repeatedly generates seeded candidate rows and keeps the one
+        covering the most still-uncovered (axis, value) pairs until every
+        pair is covered.  Size is near the product of the two largest
+        axes — the classic bound — and the greedy choice is fully
+        deterministic for a fixed seed.
+        """
+        if len(self.axes) == 1:
+            name, values = self.axes[0]
+            return [{name: value} for value in values]
+        sizes = [len(values) for __, values in self.axes]
+        uncovered = set()
+        for a, b in combinations(range(len(self.axes)), 2):
+            uncovered.update(((a, va), (b, vb))
+                             for va in range(sizes[a])
+                             for vb in range(sizes[b]))
+        rng = random.Random(self.seed)
+        rows: List[tuple] = []
+        while uncovered:
+            best_row, best_gain = None, -1
+            for __ in range(_PAIRWISE_CANDIDATES):
+                row = tuple(rng.randrange(size) for size in sizes)
+                gain = sum(1 for pair in combinations(enumerate(row), 2)
+                           if pair in uncovered)
+                if gain > best_gain:
+                    best_row, best_gain = row, gain
+            if best_gain == 0:
+                # the random candidates missed every remaining pair;
+                # construct a row directly from one uncovered pair
+                (a, va), (b, vb) = next(iter(sorted(uncovered)))
+                row = list(rng.randrange(size) for size in sizes)
+                row[a], row[b] = va, vb
+                best_row = tuple(row)
+            rows.append(best_row)
+            uncovered -= set(combinations(enumerate(best_row), 2))
+        names = [name for name, __ in self.axes]
+        return [dict(zip(names, (self.axes[i][1][v]
+                                 for i, v in enumerate(row))))
+                for row in rows]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def iter_unique(spaces: Iterable["ParamSpace"]) -> Iterator[dict]:
+        """Iterate stacked spaces, skipping duplicate assignments.
+
+        Assignments are compared by canonical JSON, so ``(0.5,)`` from a
+        full grid and ``(0.5,)`` from a pairwise grid collide as
+        intended even when drawn in different axis orders.
+        """
+        seen = set()
+        for space in spaces:
+            for assignment in space:
+                key = canonical_json(assignment)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield assignment
+
+
+# ----------------------------------------------------------------------
+# grid compilers: assignment dict -> Scenario
+# ----------------------------------------------------------------------
+
+def _address(port_index: int, job_index: int = 0, offset: int = 0) -> int:
+    return 0x1000_0000 + (port_index << 22) + job_index * 0x1_0000 + offset
+
+
+def _healthy(port_index: int, kind: str = "read", nbytes: int = 1024,
+             timeout: Optional[int] = None) -> PortPlan:
+    return PortPlan(jobs=((kind, _address(port_index), nbytes),),
+                    timeout=timeout)
+
+
+#: reads at this 4 KiB offset make an un-legalized burst straddle a page
+_ILLEGAL_OFFSET = 0xF80
+
+
+def _rogue(port_index: int, mode: str, hang: int, timeout: int,
+           nbytes: int, persistent: bool = False) -> PortPlan:
+    if mode == "illegal_burst":
+        jobs = (("read", _address(port_index, offset=_ILLEGAL_OFFSET),
+                 1024),)
+        return PortPlan(jobs=jobs, timeout=timeout,
+                        fault=MasterFault(mode=mode))
+    kind = "read" if mode == "hung_r" else "write"
+    beats = nbytes // 16
+    return PortPlan(
+        jobs=((kind, _address(port_index), nbytes),), timeout=timeout,
+        fault=MasterFault(mode=mode,
+                          hang_after_beats=min(hang, max(0, beats - 1)),
+                          persistent=persistent))
+
+
+def compile_reservation(a: dict) -> Scenario:
+    """Reservation-period sweep on a flat fabric with greedy traffic.
+
+    ``share0`` is port 0's reserved fraction (0.0 = decoupled); port 1
+    holds the complement (1.0 = unreserved when port 0 is decoupled, so
+    the endpoint matches the hand-written ablation).
+    """
+    share = a["share0"]
+    shares = (0.0, 1.0) if share == 0.0 else (share, round(1.0 - share, 4))
+    job_bytes = a.get("job_bytes", 16384)
+    ports = tuple(
+        PortPlan(jobs=(("greedy", 0x4000_0000 + (i << 23), job_bytes),))
+        for i in range(2))
+    return Scenario(family="flat", ports=ports, shares=shares,
+                    period=a.get("period", 2048),
+                    horizon=a.get("horizon", 20_000),
+                    settle=a.get("settle", 256))
+
+
+def compile_cascade(a: dict) -> Scenario:
+    """Cascade-depth sweep: depth 2-4 chains, optionally with one rogue.
+
+    Invalid combinations are repaired deterministically (port count is
+    raised to the depth; the rogue index wraps into range) so pairwise
+    rows always compile.
+    """
+    depth = a.get("depth", 2)
+    n_ports = max(a.get("n_ports", depth + 1), depth)
+    program = a.get("program", "none")
+    job_bytes = a.get("job_bytes", 1024)
+    rogue_index = a.get("rogue", 0) % n_ports
+    plans = []
+    for index in range(n_ports):
+        if program != "none" and index == rogue_index:
+            plans.append(_rogue(index, program, hang=a.get("hang", 8),
+                                timeout=a.get("timeout", 400),
+                                nbytes=max(job_bytes, 256)))
+        else:
+            plans.append(_healthy(index, nbytes=job_bytes))
+    return Scenario(family="cascade", cascade_depth=depth,
+                    ports=tuple(plans),
+                    equal_shares=a.get("equal_shares", False),
+                    period=a.get("period", 2048),
+                    horizon=a.get("horizon", 12_000))
+
+
+def compile_fabric(a: dict) -> Scenario:
+    """Fabric sweep: HyperConnect vs SmartConnect vs mixed, healthy.
+
+    The fabric axis dominates: ``smartconnect`` forces the flat family,
+    ``mixed`` forces multiport (deterministic repair, so family and
+    fabric can both be broad pairwise axes).
+    """
+    fabric = a.get("fabric", "hyperconnect")
+    family = a.get("family", "flat")
+    if fabric == "smartconnect":
+        family = "flat"
+    elif fabric == "mixed":
+        family = "multiport"
+    elif family not in ("flat", "multiport"):
+        family = "flat"
+    n_ports = max(a.get("n_ports", 2), 2 if family == "multiport" else 1)
+    kind = a.get("kind", "read")
+    job_bytes = a.get("job_bytes", 1024)
+    equal_shares = (a.get("equal_shares", False)
+                    and fabric == "hyperconnect")
+    plans = tuple(_healthy(i, kind=kind, nbytes=job_bytes)
+                  for i in range(n_ports))
+    return Scenario(family=family, fabric=fabric, ports=plans,
+                    equal_shares=equal_shares,
+                    horizon=a.get("horizon", 12_000))
+
+
+def compile_faults(a: dict) -> Scenario:
+    """Fault-injection knob sweep over the in-order DRAM families.
+
+    ``program`` selects at most one fault program: a rogue-master mode,
+    a ``mem:*`` memory fault, or ``none``.
+    """
+    family = a.get("family", "flat")
+    n_ports = a.get("n_ports", 2)
+    if family == "cascade":
+        n_ports = max(n_ports, 2)
+    program = a.get("program", "none")
+    timeout = a.get("timeout", 400)
+    seed = a.get("seed", 1)
+    job_bytes = a.get("job_bytes", 1024)
+    memory = MemoryFault()
+    plans: List[PortPlan] = []
+    if program.startswith("mem:"):
+        kind = program.split(":", 1)[1]
+        memory = MemoryFault(kind=kind,
+                             dead_after_beats=a.get("dead_after_beats", 64),
+                             freeze_start=a.get("freeze_start", 400),
+                             freeze_cycles=a.get("freeze_cycles", 800),
+                             stall_rate=a.get("stall_rate", 0.05),
+                             stall_cycles=a.get("stall_cycles", 20),
+                             error_rate=a.get("error_rate", 0.05),
+                             seed=seed)
+        # every port is a victim: all watchdogs armed
+        plans = [_healthy(i, nbytes=job_bytes, timeout=timeout)
+                 for i in range(n_ports)]
+    elif program != "none":
+        rogue_index = a.get("rogue", 0) % n_ports
+        for index in range(n_ports):
+            if index == rogue_index:
+                plans.append(_rogue(index, program,
+                                    hang=a.get("hang", 8),
+                                    timeout=timeout,
+                                    nbytes=max(job_bytes, 256),
+                                    persistent=a.get("persistent", False)))
+            else:
+                plans.append(_healthy(index, nbytes=job_bytes))
+    else:
+        plans = [_healthy(i, nbytes=job_bytes) for i in range(n_ports)]
+    return Scenario(family=family, ports=tuple(plans), memory=memory,
+                    equal_shares=a.get("equal_shares", False),
+                    horizon=a.get("horizon", 12_000))
+
+
+def compile_throughput(a: dict) -> Scenario:
+    """Deliberately tiny scenarios for the campaign-throughput bench.
+
+    Two wide injective axes (``slot`` picks the address window, ``size``
+    the transfer) so a pairwise grid stays >= the product of their
+    lengths and never collapses under deduplication.  The horizon scales
+    with the total enqueued work (copies move their bytes twice) so the
+    liveness oracle holds at every grid point while the scenarios stay
+    as small as their workload allows.
+    """
+    slot = a["slot"]
+    nbytes = a["size"]
+    kind = a.get("kind", "read")
+    n_ports = a.get("n_ports", 2)
+    ports = tuple(
+        PortPlan(jobs=((kind, _address(i, offset=slot * 0x2000), nbytes),))
+        for i in range(n_ports))
+    beats = n_ports * (nbytes * (2 if kind == "copy" else 1)) // 16
+    return Scenario(family="flat", ports=ports,
+                    horizon=a.get("horizon", 1_024 + 3 * beats),
+                    settle=64)
+
+
+# ----------------------------------------------------------------------
+# the named grid registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GridSpec:
+    """One named, ready-to-run scenario grid."""
+
+    name: str
+    description: str
+    axes: Mapping[str, tuple]
+    compile: Callable[[dict], Scenario]
+    default_mode: str = "pairwise"
+    #: oracle families the campaign should run on this grid
+    checks: Tuple[str, ...] = ("equivalence", "liveness", "protocol",
+                               "containment")
+
+    def space(self, mode: Optional[str] = None, seed: int = 0,
+              samples: int = 64) -> ParamSpace:
+        return ParamSpace(self.axes, mode=mode or self.default_mode,
+                          samples=samples, seed=seed)
+
+    def scenarios(self, mode: Optional[str] = None, seed: int = 0,
+                  samples: int = 64, limit: Optional[int] = None,
+                  horizon: Optional[int] = None,
+                  dedupe: bool = True) -> List[Scenario]:
+        """Compile the grid, optionally overriding every horizon."""
+        out: List[Scenario] = []
+        seen = set()
+        for assignment in self.space(mode=mode, seed=seed,
+                                     samples=samples):
+            scenario = self.compile(assignment)
+            if horizon is not None:
+                scenario = replace(scenario, horizon=horizon)
+            if dedupe:
+                key = scenario.to_json()
+                if key in seen:
+                    continue
+                seen.add(key)
+            out.append(scenario)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+
+GRIDS: Dict[str, GridSpec] = {}
+
+
+def _register(spec: GridSpec) -> GridSpec:
+    GRIDS[spec.name] = spec
+    return spec
+
+
+RESERVATION_GRID = _register(GridSpec(
+    name="reservation",
+    description="reservation-period sweep: per-port shares x periods on "
+                "greedy traffic (liveness is vacuous on saturating "
+                "ports — the oracle skips them)",
+    axes={
+        "share0": (0.0, 0.1, 0.25, 0.33, 0.5, 0.66, 0.75, 0.9),
+        "period": (512, 1024, 2048, 4096),
+        "job_bytes": (4096, 8192, 16384),
+    },
+    compile=compile_reservation,
+    default_mode="full",
+))
+
+CASCADE_GRID = _register(GridSpec(
+    name="cascade",
+    description="cascade chains beyond the paper's two levels, with and "
+                "without one rogue master",
+    axes={
+        "depth": (2, 3, 4),
+        "n_ports": (3, 4, 5),
+        "program": ("none", "hung_r", "withheld_w", "illegal_burst"),
+        "rogue": (0, 1, 2),
+        "timeout": (250, 300, 400, 500, 650),
+        "hang": (0, 8, 24),
+        "job_bytes": (512, 1024, 2048),
+        "equal_shares": (False, True),
+    },
+    compile=compile_cascade,
+))
+
+FABRIC_GRID = _register(GridSpec(
+    name="fabric",
+    description="interconnect fabrics: pure HyperConnect, baseline "
+                "SmartConnect, and mixed HC+SC on the multi-port memory",
+    axes={
+        "family": ("flat", "multiport"),
+        "fabric": ("hyperconnect", "smartconnect", "mixed"),
+        "n_ports": (2, 3, 4),
+        "kind": ("read", "write", "copy"),
+        "job_bytes": (256, 512, 1024, 4096),
+        "equal_shares": (False, True),
+    },
+    compile=compile_fabric,
+))
+
+FAULTS_GRID = _register(GridSpec(
+    name="faults",
+    description="fault-injection knobs: rogue-master modes and memory "
+                "fault kinds over the in-order DRAM families",
+    axes={
+        "family": ("flat", "cascade"),
+        "program": ("none", "hung_r", "withheld_w", "illegal_burst",
+                    "mem:dead", "mem:freeze", "mem:stall", "mem:error"),
+        "n_ports": (2, 3, 4),
+        "rogue": (0, 1),
+        "timeout": (300, 400, 500),
+        "hang": (0, 8, 24),
+        "seed": (1, 7, 13, 29, 43, 57),
+        "dead_after_beats": (0, 32, 96),
+        "persistent": (False, True),
+        "equal_shares": (False, True),
+        "job_bytes": (512, 1024, 2048),
+    },
+    compile=compile_faults,
+))
+
+THROUGHPUT_GRID = _register(GridSpec(
+    name="throughput",
+    description="tiny flat scenarios for the campaign-throughput "
+                "benchmark (pairwise >= 500 scenarios)",
+    axes={
+        "slot": tuple(range(24)),
+        "size": tuple(256 * k for k in range(1, 25)),
+        "kind": ("read", "write", "copy"),
+        "n_ports": (2, 3),
+    },
+    compile=compile_throughput,
+    checks=("equivalence", "liveness", "protocol"),
+))
+
+#: composite grids: a name expands to several member grids, stacked and
+#: deduplicated in order (the CI campaign-smoke job runs "smoke")
+COMPOSITES: Dict[str, Tuple[str, ...]] = {
+    "smoke": ("faults", "cascade", "fabric", "reservation"),
+}
+
+
+def grid_names() -> List[str]:
+    """Every runnable grid name (simple + composite), sorted."""
+    return sorted(list(GRIDS) + list(COMPOSITES))
+
+
+def grid_scenarios(name: str, mode: Optional[str] = None, seed: int = 0,
+                   samples: int = 64, limit: Optional[int] = None,
+                   horizon: Optional[int] = None
+                   ) -> Tuple[List[Scenario], Tuple[str, ...]]:
+    """Resolve a grid name into (scenarios, oracle checks).
+
+    Composite names concatenate their member grids and deduplicate
+    compiled scenarios across them; the checks are the intersection of
+    the members' check tuples (a composite may only assert what every
+    member grid supports).
+    """
+    if name in COMPOSITES:
+        members = [GRIDS[member] for member in COMPOSITES[name]]
+        checks = tuple(c for c in GRIDS[members[0].name].checks
+                       if all(c in m.checks for m in members))
+        scenarios: List[Scenario] = []
+        seen = set()
+        for member in members:
+            for scenario in member.scenarios(mode=mode, seed=seed,
+                                             samples=samples,
+                                             horizon=horizon):
+                key = scenario.to_json()
+                if key in seen:
+                    continue
+                seen.add(key)
+                scenarios.append(scenario)
+                if limit is not None and len(scenarios) >= limit:
+                    return scenarios, checks
+        return scenarios, checks
+    if name not in GRIDS:
+        raise KeyError(
+            f"unknown grid {name!r}; choose from {grid_names()}")
+    spec = GRIDS[name]
+    return (spec.scenarios(mode=mode, seed=seed, samples=samples,
+                           limit=limit, horizon=horizon), spec.checks)

@@ -24,6 +24,10 @@ from typing import Optional, Tuple
 
 #: supported topology families
 FAMILIES = ("flat", "cascade", "ooo", "multiport")
+#: interconnect fabrics: pure HyperConnect, pure SmartConnect (flat
+#: only), or mixed — HyperConnect + SmartConnect side by side on the
+#: multi-port memory subsystem
+FABRICS = ("hyperconnect", "smartconnect", "mixed")
 #: master misbehaviours (mirrors repro.masters.faulty.FAULT_MODES)
 MASTER_FAULTS = ("none", "hung_r", "withheld_w", "illegal_burst")
 #: memory misbehaviours (mirrors FaultInjectingMemory's knobs)
@@ -31,6 +35,10 @@ MEMORY_FAULTS = ("none", "dead", "freeze", "stall", "error")
 #: families served by the in-order DRAM model, where the fault-injecting
 #: memory wrapper exists; OOO/multi-port memories have no faulty variant
 MEMORY_FAULT_FAMILIES = ("flat", "cascade")
+#: job kinds a PortPlan may carry; "greedy" turns the whole port into a
+#: saturating traffic generator (window base + job size, no completion
+#: accounting) for bandwidth-sweep campaigns
+JOB_KINDS = ("read", "write", "copy", "greedy")
 
 
 @dataclass(frozen=True)
@@ -80,9 +88,23 @@ class PortPlan:
     timeout: Optional[int] = None
     fault: MasterFault = field(default_factory=MasterFault)
 
+    def __post_init__(self) -> None:
+        greedy = [job for job in self.jobs if job[0] == "greedy"]
+        if greedy:
+            if len(self.jobs) != 1:
+                raise ValueError("a greedy port carries exactly one job "
+                                 "(its window base and job size)")
+            if self.fault.mode != "none":
+                raise ValueError("greedy ports cannot carry a fault "
+                                 "program")
+
     @property
     def is_rogue(self) -> bool:
         return self.fault.mode != "none"
+
+    @property
+    def is_greedy(self) -> bool:
+        return bool(self.jobs) and self.jobs[0][0] == "greedy"
 
 
 @dataclass(frozen=True)
@@ -103,8 +125,15 @@ class Scenario:
       >= 2 ports).
 
     ``equal_shares`` arms the fig. 5-style symmetric bandwidth
-    reservation with period ``period`` on every HyperConnect.  At most
-    one fault program may be active: either exactly one rogue
+    reservation with period ``period`` on every HyperConnect; ``shares``
+    instead reserves explicit per-port fractions on a flat fabric (0.0
+    decouples the port, 1.0 leaves it unreserved).  ``cascade_depth``
+    deepens the cascade family beyond the paper's two levels: each extra
+    level hosts one leaf port and forwards the rest inward.  ``fabric``
+    swaps the interconnect: ``smartconnect`` builds the flat family on
+    the baseline SmartConnect, ``mixed`` puts the multiport family's
+    last port on a SmartConnect beside the HyperConnect.  At most one
+    fault program may be active: either exactly one rogue
     :class:`PortPlan` or a non-``none`` :class:`MemoryFault`.
     """
 
@@ -115,10 +144,15 @@ class Scenario:
     period: int = 2048
     horizon: int = 12_000
     settle: int = 256
+    cascade_depth: int = 2
+    fabric: str = "hyperconnect"
+    shares: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
             raise ValueError(f"unknown family {self.family!r}")
+        if self.fabric not in FABRICS:
+            raise ValueError(f"unknown fabric {self.fabric!r}")
         if not self.ports:
             raise ValueError("a scenario needs at least one port")
         if self.family in ("cascade", "multiport") and len(self.ports) < 2:
@@ -137,6 +171,50 @@ class Scenario:
                 "fault-injecting memory variant")
         if self.horizon < 1:
             raise ValueError("horizon must be >= 1")
+        if self.cascade_depth < 2:
+            raise ValueError("cascade_depth must be >= 2")
+        if self.family != "cascade" and self.cascade_depth != 2:
+            raise ValueError("cascade_depth only applies to the cascade "
+                             "family")
+        if self.family == "cascade" and len(self.ports) < self.cascade_depth:
+            raise ValueError(
+                f"a depth-{self.cascade_depth} cascade hosts one port per "
+                f"outer level plus >= 1 at the innermost: needs >= "
+                f"{self.cascade_depth} ports, got {len(self.ports)}")
+        if self.fabric != "hyperconnect":
+            if self.fabric == "smartconnect" and self.family != "flat":
+                raise ValueError("the smartconnect fabric only builds the "
+                                 "flat family")
+            if self.fabric == "mixed" and self.family != "multiport":
+                raise ValueError("the mixed fabric only builds the "
+                                 "multiport family")
+            if rogues or self.memory.kind != "none":
+                raise ValueError("fault programs need the hyperconnect "
+                                 "fabric (SmartConnect has no containment "
+                                 "or recovery path)")
+            if self.equal_shares or self.shares is not None:
+                raise ValueError("bandwidth reservation needs the "
+                                 "hyperconnect fabric")
+            if any(p.timeout is not None for p in self.ports):
+                raise ValueError("per-port watchdogs need the "
+                                 "hyperconnect fabric")
+        if self.shares is not None:
+            if self.family != "flat":
+                raise ValueError("explicit shares only apply to the flat "
+                                 "family")
+            if self.equal_shares:
+                raise ValueError("equal_shares and explicit shares are "
+                                 "exclusive")
+            if len(self.shares) != len(self.ports):
+                raise ValueError("shares must name a fraction per port")
+            if any(not 0.0 <= s <= 1.0 for s in self.shares):
+                raise ValueError("shares must lie in [0, 1]")
+            reserved = sum(s for s in self.shares if s < 1.0)
+            if reserved > 1.0 + 1e-9:
+                raise ValueError("reserved shares must sum to <= 1")
+            if rogues or self.memory.kind != "none":
+                raise ValueError("share sweeps are fault-free campaigns; "
+                                 "drop the fault program")
 
     # ------------------------------------------------------------------
 
@@ -167,9 +245,14 @@ class Scenario:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
+        """Purely JSON-native types (lists, not tuples) all the way
+        down, so ``to_dict() == json.loads(to_json())`` exactly."""
         data = asdict(self)
+        data["ports"] = list(data["ports"])
         for plan in data["ports"]:
             plan["jobs"] = [list(job) for job in plan["jobs"]]
+        if data["shares"] is not None:
+            data["shares"] = list(data["shares"])
         return data
 
     @classmethod
@@ -182,6 +265,7 @@ class Scenario:
                 fault=MasterFault(**plan["fault"]),
             )
             for plan in data["ports"])
+        shares = data.get("shares")
         return cls(
             family=data["family"],
             ports=ports,
@@ -190,6 +274,10 @@ class Scenario:
             period=data["period"],
             horizon=data["horizon"],
             settle=data.get("settle", 256),
+            cascade_depth=int(data.get("cascade_depth", 2)),
+            fabric=data.get("fabric", "hyperconnect"),
+            shares=(None if shares is None
+                    else tuple(float(s) for s in shares)),
         )
 
     def to_json(self) -> str:

@@ -16,6 +16,8 @@ what it claims to.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from hypothesis import strategies as st
 
 from .scenario import (
@@ -112,11 +114,15 @@ def scenarios(draw, families=FAMILIES, allow_faults: bool = True):
     At most one fault program per scenario: a rogue master on any
     family, or a memory fault on the in-order DRAM families.  Roughly a
     quarter of draws are fully healthy — the oracles must also hold
-    vacuously.
+    vacuously.  Healthy draws occasionally swap the interconnect fabric
+    (baseline SmartConnect / mixed HC+SC) or reserve explicit per-port
+    shares; cascade draws occasionally deepen the chain to three levels.
     """
     family = draw(st.sampled_from(families))
     lo, hi = PORT_RANGE[family]
     n_ports = draw(st.integers(lo, hi))
+    cascade_depth = (draw(st.sampled_from((2, 2, 2, 3)))
+                     if family == "cascade" else 2)
     choices = ["healthy"]
     if allow_faults:
         choices += ["master", "master"]
@@ -141,11 +147,36 @@ def scenarios(draw, families=FAMILIES, allow_faults: bool = True):
     else:
         for index in range(n_ports):
             plans.append(draw(_healthy_plan(index, armed=False)))
+    equal_shares = draw(st.booleans())
+    fabric = "hyperconnect"
+    shares = None
+    if program == "healthy":
+        # ~1 in 4 healthy draws swap the fabric (flat -> SmartConnect,
+        # multiport -> mixed); non-HC fabrics carry no watchdogs or
+        # reservations, so those knobs are stripped
+        if family == "flat" and draw(st.integers(0, 3)) == 0:
+            fabric = "smartconnect"
+        elif family == "multiport" and draw(st.integers(0, 3)) == 0:
+            fabric = "mixed"
+        if fabric != "hyperconnect":
+            equal_shares = False
+            plans = [replace(plan, timeout=None) for plan in plans]
+        elif family == "flat" and draw(st.integers(0, 3)) == 0:
+            # explicit per-port reservation: port 0 reserved (or
+            # decoupled at 0.0), the rest left unreserved
+            share0 = draw(st.sampled_from((0.0, 0.25, 0.5, 0.75)))
+            shares = (share0,) + (1.0,) * (n_ports - 1)
+            equal_shares = False
+            # a decoupled/reserved port stalls by design; watchdogs off
+            plans = [replace(plan, timeout=None) for plan in plans]
     return Scenario(
         family=family,
         ports=tuple(plans),
         memory=memory,
-        equal_shares=draw(st.booleans()),
+        equal_shares=equal_shares,
         period=2048,
         horizon=12_000,
+        cascade_depth=cascade_depth,
+        fabric=fabric,
+        shares=shares,
     )

@@ -1,0 +1,178 @@
+"""Declarative parameter spaces: coverage modes, determinism, grids.
+
+Pins the :class:`~repro.verify.paramspace.ParamSpace` contracts the
+campaign machinery relies on: full mode is the exact cartesian product,
+pairwise covers every axis-value pair at least once, sampling and
+pairwise are byte-for-byte reproducible per seed, and every registered
+grid compiles into valid scenarios.
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.verify import (
+    COMPOSITES,
+    GRIDS,
+    ParamSpace,
+    Scenario,
+    canonical_json,
+    grid_names,
+    grid_scenarios,
+)
+from repro.verify.oracles import DEFAULT_CHECKS
+
+AXES = {
+    "depth": (2, 3, 4),
+    "program": ("none", "hung_r", "withheld_w", "illegal_burst"),
+    "timeout": (300, 400),
+}
+
+
+class TestFullMode:
+    def test_cardinality_is_the_product_of_the_axes(self):
+        space = ParamSpace(AXES, mode="full")
+        expected = 3 * 4 * 2
+        assert len(space) == expected
+        assert len(space.assignments()) == expected
+
+    def test_every_assignment_is_unique_and_complete(self):
+        rows = ParamSpace(AXES, mode="full").assignments()
+        keys = {canonical_json(row) for row in rows}
+        assert len(keys) == len(rows)
+        for row in rows:
+            assert set(row) == set(AXES)
+            for name, values in AXES.items():
+                assert row[name] in values
+
+    def test_iteration_order_is_stable(self):
+        a = list(ParamSpace(AXES, mode="full"))
+        b = list(ParamSpace(AXES, mode="full"))
+        assert a == b
+
+
+class TestPairwiseMode:
+    def test_covers_every_axis_value_pair(self):
+        space = ParamSpace(AXES, mode="pairwise")
+        rows = space.assignments()
+        names = list(AXES)
+        for a, b in combinations(names, 2):
+            for va in AXES[a]:
+                for vb in AXES[b]:
+                    assert any(row[a] == va and row[b] == vb
+                               for row in rows), (
+                        f"pair ({a}={va}, {b}={vb}) never covered")
+
+    def test_is_smaller_than_the_full_product(self):
+        full = len(ParamSpace(AXES, mode="full"))
+        pairwise = len(ParamSpace(AXES, mode="pairwise"))
+        assert pairwise < full
+
+    def test_identical_seeds_yield_byte_identical_streams(self):
+        a = ParamSpace(AXES, mode="pairwise", seed=7).assignments()
+        b = ParamSpace(AXES, mode="pairwise", seed=7).assignments()
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_single_axis_degenerates_to_its_values(self):
+        space = ParamSpace({"x": (1, 2, 3)}, mode="pairwise")
+        assert space.assignments() == [{"x": 1}, {"x": 2}, {"x": 3}]
+
+    def test_wide_axes_pairwise_still_covers(self):
+        axes = {"a": tuple(range(6)), "b": tuple(range(5)),
+                "c": (True, False), "d": ("x", "y", "z")}
+        rows = ParamSpace(axes, mode="pairwise").assignments()
+        assert len(rows) >= 6 * 5            # lower bound: largest pair
+        for x, y in combinations(axes, 2):
+            covered = {(row[x], row[y]) for row in rows}
+            assert len(covered) == len(axes[x]) * len(axes[y])
+
+
+class TestSampleMode:
+    def test_yields_exactly_samples_rows(self):
+        space = ParamSpace(AXES, mode="sample", samples=17, seed=3)
+        assert len(space.assignments()) == 17
+
+    def test_identical_seeds_yield_byte_identical_streams(self):
+        a = ParamSpace(AXES, mode="sample", samples=40, seed=9)
+        b = ParamSpace(AXES, mode="sample", samples=40, seed=9)
+        assert canonical_json(a.assignments()) == \
+            canonical_json(b.assignments())
+
+    def test_different_seeds_diverge(self):
+        a = ParamSpace(AXES, mode="sample", samples=40, seed=1)
+        b = ParamSpace(AXES, mode="sample", samples=40, seed=2)
+        assert a.assignments() != b.assignments()
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpace(AXES, mode="sideways")
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpace({})
+
+    def test_empty_axis_values_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpace({"x": ()})
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ParamSpace(AXES, mode="sample", samples=0)
+
+
+class TestIterUnique:
+    def test_deduplicates_across_stacked_spaces(self):
+        core = ParamSpace({"x": (1, 2), "y": ("a", "b")}, mode="full")
+        broad = ParamSpace({"x": (1, 2, 3), "y": ("a", "b")},
+                           mode="full")
+        rows = list(ParamSpace.iter_unique([core, broad]))
+        keys = [canonical_json(row) for row in rows]
+        assert len(keys) == len(set(keys))
+        assert len(rows) == 6                # union, not 4 + 6
+
+    def test_axis_order_does_not_defeat_dedup(self):
+        a = ParamSpace({"x": (1,), "y": (2,)}, mode="full")
+        b = ParamSpace({"y": (2,), "x": (1,)}, mode="full")
+        assert len(list(ParamSpace.iter_unique([a, b]))) == 1
+
+
+class TestGridRegistry:
+    @pytest.mark.parametrize("name", sorted(GRIDS))
+    def test_every_grid_compiles_to_valid_scenarios(self, name):
+        scenarios = GRIDS[name].scenarios()
+        assert scenarios
+        for scenario in scenarios:
+            assert isinstance(scenario, Scenario)
+            # round-trips (the campaign ships scenarios as JSON)
+            assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_throughput_grid_is_large_enough_for_the_bench(self):
+        scenarios, __ = grid_scenarios("throughput")
+        keys = {s.to_json() for s in scenarios}
+        assert len(keys) >= 500
+
+    def test_smoke_composite_targets_two_hundred_scenarios(self):
+        scenarios, checks = grid_scenarios("smoke")
+        assert 150 <= len(scenarios) <= 400
+        assert checks == DEFAULT_CHECKS
+
+    def test_horizon_override_and_limit(self):
+        scenarios, __ = grid_scenarios("fabric", horizon=2_000, limit=5)
+        assert len(scenarios) == 5
+        assert all(s.horizon == 2_000 for s in scenarios)
+
+    def test_unknown_grid_raises(self):
+        with pytest.raises(KeyError):
+            grid_scenarios("no-such-grid")
+
+    def test_grid_names_cover_simple_and_composite(self):
+        names = grid_names()
+        assert set(GRIDS) <= set(names)
+        assert set(COMPOSITES) <= set(names)
+
+    def test_seeded_grids_are_reproducible(self):
+        a, __ = grid_scenarios("faults", seed=5)
+        b, __ = grid_scenarios("faults", seed=5)
+        assert [s.to_json() for s in a] == [s.to_json() for s in b]

@@ -4,7 +4,9 @@ Every corpus entry is re-run through the complete oracle stack (both
 kernel paths, all oracle families) and its reference-run fingerprint
 digest must match the checked-in value **byte-for-byte** — any drift in
 observable simulation behaviour on these scenarios fails here before it
-can hide inside a randomized campaign.
+can hide inside a randomized campaign.  The replay rides the campaign
+runner (:func:`repro.verify.corpus.run_corpus_campaign`), so the runner
+itself is pinned by the same digests.
 """
 
 import json
@@ -20,7 +22,8 @@ from repro.verify import (
     replay_entry,
     save_corpus,
 )
-from repro.verify.corpus import CORPUS_VERSION, CorpusEntry
+from repro.verify.corpus import CORPUS_VERSION, CorpusEntry, \
+    run_corpus_campaign
 
 CORPUS_PATH = Path(__file__).parent / "data" / "fault_corpus.json"
 
@@ -44,10 +47,19 @@ class TestCheckedInCorpus:
         families = {e.scenario.family for e in entries}
         assert "flat" in families
 
-    @pytest.mark.parametrize("name", EXPECTED_NAMES)
-    def test_replays_byte_identically(self, name):
-        entry = next(e for e in load_corpus(CORPUS_PATH)
-                     if e.name == name)
+    def test_replays_byte_identically_through_the_campaign_runner(self):
+        entries, result = run_corpus_campaign(CORPUS_PATH)
+        assert result.ok, result.counts
+        assert len(result.records) == len(EXPECTED_NAMES)
+        for entry, record in zip(entries, result.records):
+            assert record["verdict"] == "pass", entry.name
+            assert record["digest"] == entry.digest, (
+                f"{entry.name} drifted from its checked-in digest")
+
+    def test_single_entry_replay_matches_the_campaign(self):
+        """replay_entry (the promotion-workflow path) and the campaign
+        runner must agree on the digest."""
+        entry = load_corpus(CORPUS_PATH)[0]
         __, digest = replay_entry(entry)
         assert digest == entry.digest
 

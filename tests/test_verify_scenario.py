@@ -52,6 +52,45 @@ class TestRoundTrip:
         del data["settle"]
         assert Scenario.from_dict(data).settle == 256
 
+    def test_new_fields_default_on_old_corpus_entries(self):
+        """Dicts written before cascade_depth/fabric/shares existed must
+        still load (the checked-in corpus predates them)."""
+        data = flat([healthy()]).to_dict()
+        for key in ("cascade_depth", "fabric", "shares"):
+            del data[key]
+        loaded = Scenario.from_dict(data)
+        assert loaded.cascade_depth == 2
+        assert loaded.fabric == "hyperconnect"
+        assert loaded.shares is None
+
+    @given(scenario=scenarios())
+    def test_to_dict_equals_its_json_round_trip(self, scenario):
+        """to_dict must be JSON-native all the way down (no tuples), so
+        embedded campaign records compare equal after disk round trips."""
+        import json
+        assert scenario.to_dict() == json.loads(scenario.to_json())
+
+    def test_shares_round_trip(self):
+        scenario = flat([healthy(), healthy()], shares=(0.25, 1.0))
+        clone = Scenario.from_json(scenario.to_json())
+        assert clone == scenario
+        assert clone.shares == (0.25, 1.0)
+
+    def test_greedy_jobs_round_trip(self):
+        scenario = flat([PortPlan(jobs=(("greedy", 0x4000_0000, 8192),)),
+                         healthy()])
+        assert Scenario.from_json(scenario.to_json()) == scenario
+        assert scenario.ports[0].is_greedy
+
+    def test_fabric_and_depth_round_trip(self):
+        scenario = Scenario(
+            family="cascade", cascade_depth=3,
+            ports=(healthy(), healthy(), healthy()))
+        assert Scenario.from_json(scenario.to_json()) == scenario
+        fabric = Scenario(family="flat", fabric="smartconnect",
+                          ports=(healthy(),))
+        assert Scenario.from_json(fabric.to_json()) == fabric
+
 
 class TestValidation:
     def test_rejects_unknown_family(self):
@@ -91,6 +130,62 @@ class TestValidation:
             MemoryFault(kind="haunted")
         with pytest.raises(ValueError):
             flat([healthy()], horizon=0)
+
+    def test_rejects_unknown_fabric(self):
+        with pytest.raises(ValueError):
+            flat([healthy()], fabric="crossbar")
+
+    def test_fabric_family_pairings(self):
+        with pytest.raises(ValueError):        # smartconnect is flat-only
+            Scenario(family="cascade", fabric="smartconnect",
+                     ports=(healthy(), healthy()))
+        with pytest.raises(ValueError):        # mixed is multiport-only
+            flat([healthy()], fabric="mixed")
+
+    def test_non_hyperconnect_fabrics_reject_hc_features(self):
+        with pytest.raises(ValueError):        # faults need containment
+            Scenario(family="flat", fabric="smartconnect",
+                     ports=(rogue(),))
+        with pytest.raises(ValueError):        # reservation is HC-only
+            flat([healthy()], fabric="smartconnect", equal_shares=True)
+        with pytest.raises(ValueError):        # watchdogs are HC-only
+            flat([healthy(timeout=400)], fabric="smartconnect")
+
+    def test_cascade_depth_rules(self):
+        with pytest.raises(ValueError):        # depth < 2
+            Scenario(family="cascade", cascade_depth=1,
+                     ports=(healthy(), healthy()))
+        with pytest.raises(ValueError):        # depth only for cascade
+            flat([healthy()], cascade_depth=3)
+        with pytest.raises(ValueError):        # needs one port per level
+            Scenario(family="cascade", cascade_depth=3,
+                     ports=(healthy(), healthy()))
+
+    def test_shares_rules(self):
+        ports = [healthy(), healthy()]
+        with pytest.raises(ValueError):        # one fraction per port
+            flat(ports, shares=(0.5,))
+        with pytest.raises(ValueError):        # fractions in [0, 1]
+            flat(ports, shares=(1.5, 0.5))
+        with pytest.raises(ValueError):        # reserved sum <= 1
+            flat(ports, shares=(0.7, 0.7))
+        with pytest.raises(ValueError):        # exclusive with equal_shares
+            flat(ports, shares=(0.5, 0.5), equal_shares=True)
+        with pytest.raises(ValueError):        # flat-family only
+            Scenario(family="cascade", ports=tuple(ports),
+                     shares=(0.5, 0.5))
+        with pytest.raises(ValueError):        # fault-free campaigns only
+            flat([rogue(), healthy()], shares=(0.5, 0.5))
+        # unreserved ports (1.0) don't count against the reserved sum
+        assert flat(ports, shares=(0.6, 1.0)).shares == (0.6, 1.0)
+
+    def test_greedy_port_rules(self):
+        with pytest.raises(ValueError):        # exactly one job
+            PortPlan(jobs=(("greedy", 0x4000_0000, 8192),
+                           ("read", 0x1000_0000, 1024)))
+        with pytest.raises(ValueError):        # no fault program
+            PortPlan(jobs=(("greedy", 0x4000_0000, 8192),),
+                     fault=MasterFault(mode="hung_r"))
 
 
 class TestBaseline:
