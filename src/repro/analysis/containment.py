@@ -164,6 +164,21 @@ class ContainmentBound:
             bound += self.period
         return bound
 
+    def multi_fault_delay_bound(self, n_faulted: int) -> int:
+        """Worst-case extra delay when ``n_faulted`` ports fault together.
+
+        Serialized composition: the containment windows are assumed not
+        to overlap, so each faulted port charges its full single-fault
+        healthy-port bound.  Concurrent faults can only shrink the total
+        (detection windows elapse in parallel and the shared-path drains
+        interleave), so the serialized sum is safe, not tight.  This is
+        the per-tenant bound the isolation oracle applies to fault-storm
+        scenarios (:func:`repro.verify.oracles.check_isolation`).
+        """
+        if n_faulted < 0:
+            raise ValueError("n_faulted must be >= 0")
+        return n_faulted * self.healthy_port_delay_bound()
+
     def min_safe_timeout(self) -> int:
         """Smallest ``PORT_TIMEOUT`` a *healthy* neighbour may program
         without risking a false trip while a rogue port is contained.

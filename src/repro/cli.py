@@ -146,7 +146,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.checks:
         checks = tuple(args.checks)
     config = CampaignConfig(checks=checks,
-                            kernel_parallel=args.kernel_parallel)
+                            kernel_parallel=args.kernel_parallel,
+                            record_timeout=args.record_timeout)
     print(f"campaign {args.grid!r}: {len(scenarios)} scenarios, "
           f"checks={','.join(checks) or '-'} "
           f"workers={max(1, args.workers)}", flush=True)
@@ -262,8 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override every scenario's horizon")
     campaign.add_argument("--checks", nargs="+", default=None,
                           choices=["equivalence", "liveness", "protocol",
-                                   "containment"],
+                                   "containment", "isolation"],
                           help="oracle families (default: per-grid)")
+    campaign.add_argument("--record-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget per record; a hung "
+                               "worker becomes an 'error' verdict "
+                               "(needs --workers >= 2)")
     campaign.add_argument("--kernel-parallel", type=int, default=0,
                           metavar="N",
                           help="sharded-kernel workers for the parallel "

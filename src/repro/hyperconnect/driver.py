@@ -32,8 +32,12 @@ from .regs import (
     REG_CTRL,
     REG_N_PORTS,
     REG_PERIOD,
+    REGION_BASE_REG,
+    REGION_GRANULE,
+    REGION_PAGES_REG,
     RegisterFile,
     port_register,
+    region_register,
 )
 
 
@@ -149,6 +153,41 @@ class HyperConnectDriver:
         self._check_port(port)
         value = self.regs.read(port_register(port, PORT_TIMEOUT))
         return None if value == 0 else value
+
+    def set_region_filter(self, port: int, base: int, size: int) -> None:
+        """Program a port's stage-2 region grant.
+
+        Any request whose burst footprint leaves ``[base, base + size)``
+        trips containment with DECERR.  ``base`` and ``size`` must be
+        multiples of the 4 KiB register granule; ``size == 0`` disables
+        the filter (see :meth:`clear_region_filter`).
+        """
+        self._check_port(port)
+        if base < 0 or size < 0:
+            raise ConfigurationError("region base/size must be >= 0")
+        if base % REGION_GRANULE or size % REGION_GRANULE:
+            raise ConfigurationError(
+                f"region base/size must be multiples of "
+                f"0x{REGION_GRANULE:x}")
+        self.regs.write(region_register(port, REGION_BASE_REG),
+                        base // REGION_GRANULE)
+        self.regs.write(region_register(port, REGION_PAGES_REG),
+                        size // REGION_GRANULE)
+
+    def clear_region_filter(self, port: int) -> None:
+        """Disable a port's region filter (all addresses pass)."""
+        self._check_port(port)
+        self.regs.write(region_register(port, REGION_PAGES_REG), 0)
+
+    def region_filter(self, port: int) -> Optional[Dict[str, int]]:
+        """The port's programmed grant, or ``None`` when disabled."""
+        self._check_port(port)
+        pages = self.regs.read(region_register(port, REGION_PAGES_REG))
+        if pages == 0:
+            return None
+        base = self.regs.read(region_register(port, REGION_BASE_REG))
+        return {"base": base * REGION_GRANULE,
+                "size": pages * REGION_GRANULE}
 
     def faults(self, port: int) -> int:
         """Containment entries (watchdog + protocol trips) of a port."""

@@ -45,6 +45,11 @@ from .regs import (
     PORT_TIMEOUT,
     REG_CTRL,
     REG_PERIOD,
+    REGION_BASE_OFFSET,
+    REGION_BASE_REG,
+    REGION_GRANULE,
+    REGION_PAGES_REG,
+    REGION_STRIDE,
     ControlSlave,
     RegisterFile,
     port_register,
@@ -217,6 +222,17 @@ class HyperConnect:
             self.central.period = max(1, value)
             return
         if offset < PORT_BASE:
+            return
+        if offset >= REGION_BASE_OFFSET:
+            port, field_offset = divmod(
+                offset - REGION_BASE_OFFSET, REGION_STRIDE)
+            if port >= self.n_ports:
+                return
+            config = self.configs[port]
+            if field_offset == REGION_BASE_REG:
+                config.region_base = value * REGION_GRANULE
+            elif field_offset == REGION_PAGES_REG:
+                config.region_bytes = value * REGION_GRANULE
             return
         port, field_offset = divmod(offset - PORT_BASE, PORT_STRIDE)
         if port >= self.n_ports:

@@ -24,6 +24,12 @@ Register map (32-bit registers, byte offsets)::
       +0x18  TIMEOUT          watchdog timeout in cycles; 0 = disabled
       +0x1C  FAULTS           read-only: containment entries (watchdog
                               and protocol trips) since reset
+    0x1000 + i*0x8           per-port region-grant block, port i (the
+                             per-port block at 0x40 is full, so stage-2
+                             grants live in their own aperture):
+      +0x00  REGION_BASE      granted region base, 4 KiB pages
+      +0x04  REGION_PAGES     granted region size, 4 KiB pages;
+                              0 = region filter disabled
 """
 
 from __future__ import annotations
@@ -54,6 +60,14 @@ PORT_ISSUED_WRITE = 0x14
 PORT_TIMEOUT = 0x18
 PORT_FAULTS = 0x1C
 
+# per-port region-grant block (stage-2 enforcement on the data plane)
+REGION_BASE_OFFSET = 0x1000
+REGION_STRIDE = 0x8
+REGION_BASE_REG = 0x00
+REGION_PAGES_REG = 0x04
+#: granularity of the region-grant registers (one store page)
+REGION_GRANULE = 4096
+
 #: budget register value meaning "no reservation limit"
 BUDGET_UNLIMITED = 0xFFFF_FFFF
 
@@ -70,6 +84,11 @@ class RegisterAccessError(ReproError):
 def port_register(port: int, field_offset: int) -> int:
     """Byte offset of a per-port register."""
     return PORT_BASE + port * PORT_STRIDE + field_offset
+
+
+def region_register(port: int, field_offset: int) -> int:
+    """Byte offset of a per-port region-grant register."""
+    return REGION_BASE_OFFSET + port * REGION_STRIDE + field_offset
 
 
 class RegisterFile:
@@ -104,6 +123,8 @@ class RegisterFile:
             self._read_only.add(port_register(port, PORT_ISSUED_READ))
             self._read_only.add(port_register(port, PORT_ISSUED_WRITE))
             self._read_only.add(port_register(port, PORT_FAULTS))
+            self._values[region_register(port, REGION_BASE_REG)] = 0
+            self._values[region_register(port, REGION_PAGES_REG)] = 0
         self._write_callbacks: List[Callable[[int, int], None]] = []
         #: dynamic read providers (live hardware counters)
         self._providers: Dict[int, Callable[[], int]] = {}

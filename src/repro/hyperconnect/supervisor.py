@@ -30,7 +30,7 @@ from typing import Deque, Optional
 from ..axi.burst import split_burst
 from ..axi.checker import ProtocolError, check_addr_beat
 from ..axi.payloads import AddrBeat, DataBeat, RespBeat
-from ..axi.types import Resp
+from ..axi.types import BurstType, Resp
 from ..sim.channel import Channel
 from ..sim.component import Component
 from ..sim.errors import ConfigurationError
@@ -54,6 +54,13 @@ class PortConfig:
     #: outstanding before the port is contained; ``None`` disables the
     #: watchdog (and the ingest-time protocol guard armed with it)
     timeout_cycles: Optional[int] = None
+    #: region filter (stage-2 grant enforcement on the data plane): any
+    #: request whose burst footprint leaves
+    #: ``[region_base, region_base + region_bytes)`` trips containment
+    #: with DECERR.  ``region_bytes == 0`` disables the filter, which is
+    #: the default so untenanted systems behave exactly as before.
+    region_base: int = 0
+    region_bytes: int = 0
     #: counters exposed through the read-only ISSUED_* registers
     issued_read: int = field(default=0)
     issued_write: int = field(default=0)
@@ -68,6 +75,9 @@ class PortConfig:
             raise ConfigurationError("budget must be >= 0 or None")
         if self.timeout_cycles is not None and self.timeout_cycles < 1:
             raise ConfigurationError("timeout_cycles must be >= 1 or None")
+        if self.region_base < 0 or self.region_bytes < 0:
+            raise ConfigurationError(
+                "region_base/region_bytes must be >= 0")
 
 
 def drain_and_complete_orphans(link, inflight_reads, inflight_writes,
@@ -290,6 +300,25 @@ class TransactionSupervisor(Component):
             return str(exc)
         return None
 
+    def _check_region(self, beat: AddrBeat) -> Optional[str]:
+        """Stage-2 grant check: the burst footprint must stay inside the
+        port's granted region.  Armed whenever ``region_bytes > 0``
+        (independently of the watchdog — the hypervisor programs grants
+        even on ports it does not watchdog)."""
+        span = self.config.region_bytes
+        if span == 0:
+            return None
+        if beat.burst is BurstType.FIXED:
+            footprint = beat.size_bytes
+        else:
+            footprint = beat.length * beat.size_bytes
+        base = self.config.region_base
+        if beat.address < base or beat.address + footprint > base + span:
+            return (f"access [0x{beat.address:x}, "
+                    f"0x{beat.address + footprint:x}) outside granted "
+                    f"region [0x{base:x}, 0x{base + span:x})")
+        return None
+
     def _trip(self, cycle: int, kind: str, resp: Resp, age: int = 0,
               detail: str = "") -> None:
         """Enter containment: decouple, discard pending, raise the event.
@@ -371,21 +400,29 @@ class TransactionSupervisor(Component):
         # pending queues shallow (the eFIFO provides the real buffering)
         if not self._pending_ar and self.ha_link.ar.can_pop():
             beat = self.ha_link.ar.pop()
+            kind = "protocol_violation"
             violation = self._guard_request(beat)
+            if violation is None:
+                violation = self._check_region(beat)
+                if violation is not None:
+                    kind = "region_violation"
             self._inflight_reads.append([beat, beat.length])
             if violation is not None:
-                self._trip(cycle, "protocol_violation", Resp.DECERR,
-                           detail=violation)
+                self._trip(cycle, kind, Resp.DECERR, detail=violation)
                 self._containment_tick(cycle)
                 return
             self._pending_ar = self._split(beat)
         if not self._pending_aw and self.ha_link.aw.can_pop():
             beat = self.ha_link.aw.pop()
+            kind = "protocol_violation"
             violation = self._guard_request(beat)
+            if violation is None:
+                violation = self._check_region(beat)
+                if violation is not None:
+                    kind = "region_violation"
             self._inflight_writes.append(beat)
             if violation is not None:
-                self._trip(cycle, "protocol_violation", Resp.DECERR,
-                           detail=violation)
+                self._trip(cycle, kind, Resp.DECERR, detail=violation)
                 self._containment_tick(cycle)
                 return
             self._pending_aw = self._split(beat)

@@ -13,11 +13,16 @@ HyperConnect register window, and an audit trail of violations.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Deque, Dict, List
 
 from ..sim.errors import ReproError
 from .domain import Domain, MemoryRegion
+
+#: default audit-trail depth; fault storms can deny millions of accesses,
+#: so the record list is a ring buffer with a separate total counter
+DEFAULT_AUDIT_DEPTH = 1024
 
 
 class AccessViolation(ReproError):
@@ -42,12 +47,23 @@ class AccessControl:
     hyperconnect_window:
         The HyperConnect control-register range; always denied to guests
         regardless of their grants (defence in depth).
+    audit_depth:
+        Maximum retained :class:`ViolationRecord` entries.  Older entries
+        are evicted (ring buffer); :attr:`total_violations` keeps the
+        lifetime count so fault-storm campaigns with millions of denials
+        cannot grow memory without bound.
     """
 
-    def __init__(self, hyperconnect_window: MemoryRegion) -> None:
+    def __init__(self, hyperconnect_window: MemoryRegion,
+                 audit_depth: int = DEFAULT_AUDIT_DEPTH) -> None:
+        if audit_depth < 1:
+            raise ValueError("audit_depth must be >= 1")
         self.hyperconnect_window = hyperconnect_window
         self._grants: Dict[str, List[MemoryRegion]] = {}
-        self.violations: List[ViolationRecord] = []
+        #: most recent denied accesses (bounded ring buffer)
+        self.violations: Deque[ViolationRecord] = deque(maxlen=audit_depth)
+        #: lifetime denial count (survives ring-buffer eviction)
+        self.total_violations = 0
 
     def grant(self, domain: Domain, region: MemoryRegion) -> None:
         """Allow ``domain`` to access ``region`` (control registers of its
@@ -77,6 +93,7 @@ class AccessControl:
               reason: str) -> None:
         record = ViolationRecord(domain.name, address, count, reason)
         self.violations.append(record)
+        self.total_violations += 1
         raise AccessViolation(
             f"domain {domain.name!r} denied at 0x{address:x} "
             f"(+{count}): {reason}")

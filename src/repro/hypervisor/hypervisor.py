@@ -23,7 +23,11 @@ from typing import Dict, List, Optional, Set
 
 from ..hyperconnect.driver import HyperConnectDriver
 from ..hyperconnect.hyperconnect import HyperConnect
+from ..hyperconnect.regs import REGION_GRANULE
 from ..masters.engine import AxiMasterEngine
+from ..memory.buddy import BuddyAllocator
+from ..memory.store import MemoryStore
+from ..memory.virt import Stage2Table, VirtualizedStore
 from ..sim.errors import ConfigurationError
 from ..sim.events import PortRecoveryEvent
 from .accessctl import AccessControl, AccessViolation
@@ -70,6 +74,10 @@ class Hypervisor:
         self.default_recovery_policy = RecoveryPolicy()
         self._recovery_policies: Dict[str, RecoveryPolicy] = {}
         self.recovery: Optional[FaultRecoveryAgent] = None
+        #: memory virtualization (set up by :meth:`attach_memory`)
+        self.store: Optional[MemoryStore] = None
+        self.allocator: Optional[BuddyAllocator] = None
+        self._stage2: Dict[str, Stage2Table] = {}
 
     # ------------------------------------------------------------------
     # domain lifecycle
@@ -121,6 +129,11 @@ class Hypervisor:
                   if d.bandwidth_share is not None and d.ports}
         if shares:
             self.apply_bandwidth_policy(shares)
+        # grants made before boot now know their ports: arm the
+        # data-plane region filters
+        for domain in self.domains.values():
+            if domain.regions and domain.ports:
+                self._apply_region_filters(domain)
 
     # ------------------------------------------------------------------
     # HyperConnect policy (hypervisor-only)
@@ -154,6 +167,132 @@ class Hypervisor:
         for port in domain.ports:
             self.driver.couple(port)
         domain.isolated = False
+
+    # ------------------------------------------------------------------
+    # memory virtualization (sparse stage-2 address space)
+    # ------------------------------------------------------------------
+
+    def attach_memory(self, store: MemoryStore, base: int = 0,
+                      size: Optional[int] = None,
+                      min_block: int = REGION_GRANULE) -> BuddyAllocator:
+        """Place the DRAM backing store under hypervisor management.
+
+        A buddy allocator carves ``[base, base + size)`` (default: the
+        whole store) into power-of-two region grants;
+        :meth:`grant_memory` hands them to tenant domains.
+        """
+        allocator = BuddyAllocator(base, store.size if size is None
+                                   else size, min_block)
+        self.store = store
+        self.allocator = allocator
+        return allocator
+
+    def stage2(self, domain_name: str) -> Stage2Table:
+        """The domain's stage-2 translation table (created on demand)."""
+        domain = self.domain(domain_name)
+        table = self._stage2.get(domain.name)
+        if table is None:
+            table = Stage2Table(name=f"{domain.name}.stage2")
+            self._stage2[domain.name] = table
+        return table
+
+    def grant_memory(self, domain_name: str, size: int,
+                     guest_base: Optional[int] = None) -> MemoryRegion:
+        """Grant a domain a region of hypervisor-managed memory.
+
+        Allocates a buddy block, installs a stage-2 window (identity
+        mapped by default, so fabric-side and guest-side addresses
+        coincide), records the grant in the access-control plane and the
+        domain's region list, and — when the domain's ports are already
+        bound — arms the HyperConnect's per-port region filters.
+        """
+        if self.allocator is None:
+            raise ConfigurationError(
+                "no managed memory: call attach_memory() first")
+        domain = self.domain(domain_name)
+        host_base = self.allocator.alloc(size)
+        block = self.allocator.grant_size(host_base)
+        if guest_base is None:
+            guest_base = host_base  # sparse identity-mapped guest window
+        table = self.stage2(domain_name)
+        try:
+            table.map(guest_base, block, host_base)
+        except ValueError:
+            self.allocator.free(host_base)
+            raise
+        region = domain.add_region(host_base, block)
+        self.access.grant(domain, region)
+        if domain.ports:
+            self._apply_region_filters(domain)
+        return region
+
+    def adopt_region(self, domain_name: str, base: int, size: int,
+                     guest_base: Optional[int] = None) -> MemoryRegion:
+        """Record an externally-placed grant (no allocator involved).
+
+        Used by harness builders whose scenarios pin grant addresses as
+        pure data: installs the stage-2 window (identity mapped by
+        default), the access-control grant, the domain region, and — when
+        ports are bound — the data-plane region filters, exactly like
+        :meth:`grant_memory` but at the caller's chosen address.
+        """
+        domain = self.domain(domain_name)
+        if guest_base is None:
+            guest_base = base
+        self.stage2(domain_name).map(guest_base, size, base)
+        region = domain.add_region(base, size)
+        self.access.grant(domain, region)
+        if domain.ports:
+            self._apply_region_filters(domain)
+        return region
+
+    def release_memory(self, domain_name: str,
+                       region: MemoryRegion) -> None:
+        """Return a granted region to the allocator and drop its window."""
+        if self.allocator is None:
+            raise ConfigurationError("no managed memory attached")
+        domain = self.domain(domain_name)
+        if region not in domain.regions:
+            raise ConfigurationError(
+                f"domain {domain_name!r} holds no grant at "
+                f"0x{region.base:x}")
+        table = self.stage2(domain_name)
+        for window in table.windows:
+            if window.host_base == region.base:
+                table.unmap(window.guest_base)
+                break
+        domain.regions.remove(region)
+        self.allocator.free(region.base)
+        if domain.ports:
+            self._apply_region_filters(domain)
+
+    def domain_store(self, domain_name: str) -> VirtualizedStore:
+        """The domain's view of memory: every access translated (and
+        confined) by its stage-2 table."""
+        if self.store is None:
+            raise ConfigurationError(
+                "no managed memory: call attach_memory() first")
+        return VirtualizedStore(self.store, self.stage2(domain_name))
+
+    def _apply_region_filters(self, domain: Domain) -> None:
+        """Arm the data-plane grant filter on every port of a domain.
+
+        The register window is a single contiguous range per port, so it
+        is programmed as the convex hull of the domain's grants — the
+        hardware-cheap first line of defence; the stage-2 table and the
+        control-plane access checks stay exact.
+        """
+        if not domain.regions:
+            for port in domain.ports:
+                self.driver.clear_region_filter(port)
+            return
+        base = min(region.base for region in domain.regions)
+        end = max(region.end for region in domain.regions)
+        base -= base % REGION_GRANULE
+        if end % REGION_GRANULE:
+            end += REGION_GRANULE - end % REGION_GRANULE
+        for port in domain.ports:
+            self.driver.set_region_filter(port, base, end - base)
 
     # ------------------------------------------------------------------
     # fault recovery (watchdog containment aftermath)

@@ -1,14 +1,18 @@
 """PS-side memory substrate: backing store, DRAM controller, FPGA-PS port."""
 
+from .buddy import AllocationError, BuddyAllocator
 from .dram import DramTiming, MemorySubsystem
 from .faulty import FaultInjectingMemory
 from .multiport import MultiPortMemorySubsystem
 from .ooo import OutOfOrderMemory
 from .psport import AxiPipe, FpgaPsPort
 from .qos400 import PsQosRegulator
-from .store import MemoryStore
+from .store import MemoryAccessFault, MemoryStore, TranslationFault
+from .virt import Stage2Table, Stage2Window, VirtualizedStore
 
 __all__ = [
+    "AllocationError",
+    "BuddyAllocator",
     "DramTiming",
     "MemorySubsystem",
     "FaultInjectingMemory",
@@ -17,5 +21,10 @@ __all__ = [
     "AxiPipe",
     "FpgaPsPort",
     "PsQosRegulator",
+    "MemoryAccessFault",
     "MemoryStore",
+    "TranslationFault",
+    "Stage2Table",
+    "Stage2Window",
+    "VirtualizedStore",
 ]

@@ -26,7 +26,7 @@ from ..axi.types import BurstType, Resp
 from ..sim.component import Component
 from ..sim.errors import ConfigurationError
 from ..sim.stats import OnlineStats
-from .store import MemoryStore
+from .store import MemoryAccessFault, MemoryStore
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,9 @@ class _Command:
     #: None for the common INCR case, where the cursor just increments
     addresses: Optional[list] = None
     beat_index: int = 0
+    #: a beat of this command faulted in the backing store; the write
+    #: response (and subsequent read beats) carry DECERR instead of OKAY
+    error: bool = False
 
     def current_address(self) -> int:
         if self.addresses is not None:
@@ -123,6 +126,8 @@ class MemorySubsystem(Component):
         self.reads_served = 0
         self.writes_served = 0
         self.beats_served = 0
+        #: beats that faulted in the backing store and answered DECERR
+        self.decode_errors = 0
 
     # ------------------------------------------------------------------
 
@@ -262,15 +267,24 @@ class MemorySubsystem(Component):
             if r.capacity is not None and r._occupancy >= r.capacity:
                 return  # backpressured: the bus slot is lost
             data = None
+            resp = Resp.OKAY
             if self.store is not None:
-                data = self.store.read(command.current_address(),
-                                       beat_bytes)
+                try:
+                    data = self.store.read(command.current_address(),
+                                           beat_bytes)
+                except MemoryAccessFault:
+                    # address decode / stage-2 miss: the beat answers
+                    # DECERR with no data; the exception never escapes
+                    # the kernel
+                    command.error = True
+                    self.decode_errors += 1
+                    resp = Resp.DECERR
             command.beats_left -= 1
             r.push(DataBeat(
                 last=command.beats_left == 0,
                 txn_id=command.beat.txn_id,
                 data=data,
-                resp=Resp.OKAY,
+                resp=resp,
                 addr_beat=command.beat,
             ))
         else:
@@ -278,13 +292,20 @@ class MemorySubsystem(Component):
                 return  # write data not here yet
             wbeat = self._write_beats.popleft()
             if self.store is not None and wbeat.data is not None:
-                self.store.write(command.current_address(), wbeat.data)
+                try:
+                    self.store.write(command.current_address(), wbeat.data)
+                except MemoryAccessFault:
+                    # drop the faulting beat; the burst's single write
+                    # response reports DECERR for the whole transaction
+                    command.error = True
+                    self.decode_errors += 1
             command.beats_left -= 1
             if command.beats_left == 0:
                 self._pending_b.append((
                     cycle + self.timing.resp_latency,
                     RespBeat(txn_id=command.beat.txn_id,
-                             resp=Resp.OKAY,
+                             resp=(Resp.DECERR if command.error
+                                   else Resp.OKAY),
                              addr_beat=command.beat),
                 ))
         # inlined step_address (one call per served beat otherwise)

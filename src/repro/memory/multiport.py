@@ -24,14 +24,14 @@ from ..sim.component import Component
 from ..sim.errors import ConfigurationError
 from ..sim.stats import OnlineStats
 from .dram import DramTiming
-from .store import MemoryStore
+from .store import MemoryAccessFault, MemoryStore
 
 
 class _PortedCommand:
     """One queued burst command, remembering its source port."""
 
     __slots__ = ("is_read", "beat", "arrival", "beats_left", "data_start",
-                 "address_cursor", "port")
+                 "address_cursor", "port", "error")
 
     def __init__(self, is_read, beat, arrival, port):
         self.is_read = is_read
@@ -41,6 +41,7 @@ class _PortedCommand:
         self.data_start = None
         self.address_cursor = beat.address
         self.port = port
+        self.error = False
 
 
 class MultiPortMemorySubsystem(Component):
@@ -69,6 +70,8 @@ class MultiPortMemorySubsystem(Component):
         self.queue_delay = OnlineStats()
         self.beats_served = 0
         self.per_port_beats = [0 for _ in links]
+        #: beats that faulted in the backing store and answered DECERR
+        self.decode_errors = 0
 
     # ------------------------------------------------------------------
 
@@ -127,25 +130,38 @@ class MultiPortMemorySubsystem(Component):
             if not link.r.can_push():
                 return
             data = None
+            resp = Resp.OKAY
             if self.store is not None:
-                data = self.store.read(command.address_cursor, beat_bytes)
+                try:
+                    data = self.store.read(command.address_cursor,
+                                           beat_bytes)
+                except MemoryAccessFault:
+                    command.error = True
+                    self.decode_errors += 1
+                    resp = Resp.DECERR
             command.beats_left -= 1
             link.r.push(DataBeat(
                 last=command.beats_left == 0,
                 txn_id=command.beat.txn_id, data=data,
-                resp=Resp.OKAY, addr_beat=command.beat))
+                resp=resp, addr_beat=command.beat))
         else:
             queue = self._write_beats[command.port]
             if not queue:
                 return
             wbeat = queue.popleft()
             if self.store is not None and wbeat.data is not None:
-                self.store.write(command.address_cursor, wbeat.data)
+                try:
+                    self.store.write(command.address_cursor, wbeat.data)
+                except MemoryAccessFault:
+                    command.error = True
+                    self.decode_errors += 1
             command.beats_left -= 1
             if command.beats_left == 0:
                 self._pending_b.append((
                     cycle + self.timing.resp_latency, command.port,
-                    RespBeat(txn_id=command.beat.txn_id, resp=Resp.OKAY,
+                    RespBeat(txn_id=command.beat.txn_id,
+                             resp=(Resp.DECERR if command.error
+                                   else Resp.OKAY),
                              addr_beat=command.beat)))
         command.address_cursor += beat_bytes
         self.beats_served += 1

@@ -12,15 +12,35 @@ from typing import Dict
 _PAGE_SIZE = 4096
 
 
+class MemoryAccessFault(ValueError):
+    """An access the backing store cannot satisfy.
+
+    Subclasses ``ValueError`` for backward compatibility with callers
+    that caught the old bare exception.  Data-path adapters catch this
+    and synthesize an AXI DECERR response instead of letting a Python
+    exception escape the simulation kernel.
+    """
+
+    def __init__(self, message: str, address: int = 0, count: int = 0) -> None:
+        super().__init__(message)
+        self.address = address
+        self.count = count
+
+
+class TranslationFault(MemoryAccessFault):
+    """A guest access with no (or a straddled) stage-2 mapping."""
+
+
 class MemoryStore:
     """Lazily-allocated sparse memory.
 
     Parameters
     ----------
     size:
-        Total addressable bytes; accesses beyond it raise ``ValueError``
-        (the simulation-model analogue of a DECERR-causing address decode
-        failure, which callers may translate into an AXI error response).
+        Total addressable bytes; accesses beyond it raise
+        :class:`MemoryAccessFault` (the simulation-model analogue of a
+        DECERR-causing address decode failure, which data-path adapters
+        translate into an AXI error response).
     """
 
     def __init__(self, size: int = 1 << 32) -> None:
@@ -33,9 +53,10 @@ class MemoryStore:
 
     def _check_range(self, address: int, count: int) -> None:
         if address < 0 or count < 0 or address + count > self.size:
-            raise ValueError(
+            raise MemoryAccessFault(
                 f"access [0x{address:x}, 0x{address + count:x}) outside "
-                f"memory of size 0x{self.size:x}")
+                f"memory of size 0x{self.size:x}",
+                address=address, count=count)
 
     def read(self, address: int, count: int) -> bytes:
         """Read ``count`` bytes starting at ``address``."""

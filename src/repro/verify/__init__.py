@@ -4,8 +4,8 @@ The subsystem that scales PR 2's five hand-seeded fault scenarios out to
 randomized campaigns (ROADMAP: *fault-campaign scale-out*): pure-data
 :class:`Scenario` descriptions, a harness that builds any of four
 topology families from them, oracle families (liveness, AXI protocol,
-fast-vs-reference kernel equivalence, analytic containment bound), and a
-replayable counterexample corpus.
+fast-vs-reference kernel equivalence, analytic containment bound, and
+multi-tenant isolation), and a replayable counterexample corpus.
 
 Campaigns are the scale-out unit: :mod:`repro.verify.paramspace`
 compiles declarative axis grids into scenario lists and
@@ -57,6 +57,7 @@ from .oracles import (
     OracleViolation,
     check_containment_bound,
     check_equivalence,
+    check_isolation,
     check_liveness,
     check_protocol,
     check_scenario,
@@ -64,6 +65,7 @@ from .oracles import (
     dump_falsifying_example,
     evaluate_scenario,
     fingerprint_digest,
+    isolation_bound_for,
 )
 from .scenario import (
     FABRICS,
@@ -110,6 +112,7 @@ __all__ = [
     "OracleViolation",
     "check_containment_bound",
     "check_equivalence",
+    "check_isolation",
     "check_liveness",
     "check_protocol",
     "check_scenario",
@@ -117,6 +120,7 @@ __all__ = [
     "dump_falsifying_example",
     "evaluate_scenario",
     "fingerprint_digest",
+    "isolation_bound_for",
     "FABRICS",
     "FAMILIES",
     "JOB_KINDS",

@@ -63,11 +63,23 @@ class CampaignConfig:
     kernel_parallel: int = 0
     #: embed the full scenario dict in each record (replayability)
     embed_scenario: bool = True
+    #: wall-clock seconds one record may take before its worker is
+    #: declared hung and the straggler becomes an ``error`` verdict
+    #: (reason "timeout"); ``None`` (default) waits forever, preserving
+    #: historic digests.  Only enforced with ``workers >= 2`` — the
+    #: inline path cannot interrupt a wedged evaluation.
+    record_timeout: Optional[float] = None
+    #: test hook: evaluate scenarios with this callable instead of
+    #: :func:`~repro.verify.oracles.evaluate_scenario` (must be a
+    #: picklable top-level function so it survives the worker handoff)
+    evaluate_hook: Optional[Callable] = None
 
     def __post_init__(self) -> None:
         unknown = set(self.checks) - set(DEFAULT_CHECKS)
         if unknown:
             raise ValueError(f"unknown oracle checks {sorted(unknown)}")
+        if self.record_timeout is not None and self.record_timeout <= 0:
+            raise ValueError("record_timeout must be > 0 seconds")
 
 
 @dataclass(frozen=True)
@@ -123,8 +135,9 @@ def evaluate_record(index: int, scenario_json: str,
         record["scenario_id"] = scenario_id(scenario)
         if config.embed_scenario:
             record["scenario"] = scenario.to_dict()
-        reference = evaluate_scenario(scenario, checks=config.checks,
-                                      parallel=config.kernel_parallel)
+        evaluate = config.evaluate_hook or evaluate_scenario
+        reference = evaluate(scenario, checks=config.checks,
+                             parallel=config.kernel_parallel)
         record["digest"] = fingerprint_digest(reference)
         record["cycles"] = reference.now
         # per-port engine observables (byte counts etc.), so campaigns
@@ -168,6 +181,33 @@ def _context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context(method)
 
 
+def _timeout_record(index: int, scenario_json: str,
+                    config: CampaignConfig) -> dict:
+    """An ``error`` verdict for a record whose worker never returned."""
+    record = {
+        "schema": RESULT_SCHEMA,
+        "index": index,
+        "scenario_id": None,
+        "verdict": "error",
+        "oracle": None,
+        "detail": f"timeout: record exceeded {config.record_timeout}s "
+                  "wall clock; worker terminated",
+        "digest": None,
+        "cycles": None,
+        "engines": None,
+        "elapsed_ms": None,
+        "scenario": None,
+    }
+    try:
+        scenario = Scenario.from_json(scenario_json)
+        record["scenario_id"] = scenario_id(scenario)
+        if config.embed_scenario:
+            record["scenario"] = scenario.to_dict()
+    except Exception:  # noqa: BLE001 - id fields stay None
+        pass
+    return record
+
+
 def campaign_digest(records: Iterable[dict]) -> str:
     """Verdict digest: stable hash of the ordered, timing-free records."""
     hasher = sha256()
@@ -206,13 +246,37 @@ def run_campaign(scenarios: Iterable[Scenario], workers: int = 0,
         context = _context()
         records = []
         chunksize = max(1, len(payloads) // (workers * 8) or 1)
+        if config.record_timeout is not None:
+            chunksize = 1  # a hung record must not strand its chunk-mates
         with context.Pool(processes=workers, initializer=_init_worker,
                           initargs=(config,)) as pool:
-            for record in pool.imap_unordered(_worker, payloads,
-                                              chunksize=chunksize):
-                if progress is not None:
-                    progress(record)
-                records.append(record)
+            results = pool.imap_unordered(_worker, payloads,
+                                          chunksize=chunksize)
+            pending = {index for index, __ in payloads}
+            try:
+                while pending:
+                    try:
+                        record = results.next(
+                            timeout=config.record_timeout)
+                    except StopIteration:
+                        break
+                    pending.discard(record["index"])
+                    if progress is not None:
+                        progress(record)
+                    records.append(record)
+            except multiprocessing.TimeoutError:
+                # a worker is hung: abandon the pool and report every
+                # unfinished record as a timeout error — the campaign
+                # always terminates
+                pool.terminate()
+                for index, scenario_json in payloads:
+                    if index not in pending:
+                        continue
+                    record = _timeout_record(index, scenario_json,
+                                             config)
+                    if progress is not None:
+                        progress(record)
+                    records.append(record)
         records.sort(key=lambda record: record["index"])
     wall_s = time.perf_counter() - started
     counts: Dict[str, int] = {}

@@ -19,6 +19,7 @@ from ..masters import AxiDma, FaultInjectingMaster, GreedyTrafficGenerator
 from ..memory import (
     DramTiming,
     FaultInjectingMemory,
+    MemoryStore,
     MemorySubsystem,
     MultiPortMemorySubsystem,
     OutOfOrderMemory,
@@ -71,6 +72,8 @@ class System:
     hypervisors: List[Hypervisor]
     memory: object
     memory_timing: DramTiming
+    #: functional backing store (tenanted scenarios only; None otherwise)
+    store: Optional[MemoryStore] = None
 
 
 @dataclass(frozen=True)
@@ -88,13 +91,18 @@ class RunResult:
     #: healthy job completed)
     healthy_done: Optional[int]
     now: int
+    #: kernel event log (fault/recovery events), already dict-rendered
+    events: Tuple[dict, ...] = ()
+    #: per-plan-index latest job-completion cycle (None = none finished)
+    done_cycles: Tuple[Optional[int], ...] = ()
 
 
 def _make_memory(sim: Simulator, scenario: Scenario, link: AxiLink,
-                 timing: DramTiming):
+                 timing: DramTiming, store: Optional[MemoryStore] = None):
     fault = scenario.memory
     if fault.kind == "none":
-        return MemorySubsystem(sim, "mem", link, timing=timing)
+        return MemorySubsystem(sim, "mem", link, timing=timing,
+                               store=store)
     kwargs: Dict[str, object] = {"seed": fault.seed}
     if fault.kind == "dead":
         kwargs["dead_after_beats"] = fault.dead_after_beats
@@ -111,6 +119,11 @@ def _make_memory(sim: Simulator, scenario: Scenario, link: AxiLink,
 
 def _make_engine(sim: Simulator, name: str, plan: PortPlan, link):
     if plan.is_rogue:
+        if plan.fault.mode == "wild_addr":
+            # protocol-compliant engine; the misbehaviour is entirely in
+            # the job addresses (outside the tenant's grant), which the
+            # region filter contains at ingest
+            return AxiDma(sim, name, link)
         return FaultInjectingMaster(
             sim, name, link, fault_mode=plan.fault.mode,
             hang_after_beats=plan.fault.hang_after_beats,
@@ -151,6 +164,27 @@ def _arm(hypervisor: Hypervisor, scenario: Scenario,
     hypervisor.enable_fault_recovery()
 
 
+def _arm_tenants(hypervisor: Hypervisor, scenario: Scenario,
+                 stations: List[Station],
+                 store: MemoryStore) -> None:
+    """Stamp one tenant domain per port with its scenario-pinned grant.
+
+    Each domain gets a stage-2 identity window over the shared store,
+    a control-plane access grant, and the port's data-plane region
+    filter — so an out-of-grant access (``wild_addr`` rogue) trips
+    containment at the HyperConnect instead of reaching memory.
+    """
+    hypervisor.attach_memory(store)
+    hc = hypervisor.hyperconnect
+    for st in stations:
+        if st.hyperconnect is not hc:
+            continue
+        base, size = scenario.grants[st.plan_index]
+        domain = hypervisor.create_domain(f"tenant{st.plan_index}")
+        domain.ports.append(st.port_index)
+        hypervisor.adopt_region(domain.name, base, size)
+
+
 def build_system(scenario: Scenario, fast: bool,
                  parallel: int = 0) -> System:
     """Instantiate the scenario's topology family on a fresh simulator.
@@ -165,6 +199,7 @@ def build_system(scenario: Scenario, fast: bool,
     plans = scenario.ports
     stations: List[Station] = []
     hyperconnects: List[HyperConnect] = []
+    store: Optional[MemoryStore] = None
 
     def station(index: int, hc: HyperConnect, port: int) -> None:
         plan = plans[index]
@@ -224,7 +259,10 @@ def build_system(scenario: Scenario, fast: bool,
             memory = OutOfOrderMemory(sim, "mem", down, timing=timing,
                                       lookahead=8)
         else:
-            memory = _make_memory(sim, scenario, link, timing)
+            if scenario.is_tenanted:
+                store = MemoryStore()  # functional data for tenants
+            memory = _make_memory(sim, scenario, link, timing,
+                                  store=store)
         hyperconnects = [hc]
         for index in range(len(plans)):
             station(index, hc, index)
@@ -236,6 +274,8 @@ def build_system(scenario: Scenario, fast: bool,
         hypervisor = Hypervisor(hc)
         _arm(hypervisor, scenario, stations)
         hypervisors.append(hypervisor)
+    if scenario.is_tenanted:
+        _arm_tenants(hypervisors[0], scenario, stations, store)
 
     for index, plan in enumerate(plans):
         st = stations[index]
@@ -253,7 +293,7 @@ def build_system(scenario: Scenario, fast: bool,
                 raise ValueError(f"unknown job kind {kind!r}")
 
     return System(sim, scenario, stations, hyperconnects, hypervisors,
-                  memory, timing)
+                  memory, timing, store=store)
 
 
 def _engine_observables(station: Station) -> dict:
@@ -286,17 +326,24 @@ def run_system(system: System) -> RunResult:
          + st.supervisor.fault_stats.protocol_trips)
         if st.supervisor is not None else 0
         for st in system.stations)
-    healthy_done: Optional[int] = None
+    done_cycles: List[Optional[int]] = []
     for st in system.stations:
-        if st.plan.is_rogue:
-            continue
+        done: Optional[int] = None
         for job in st.jobs:
             if job.completed is not None:
-                if healthy_done is None or job.completed > healthy_done:
-                    healthy_done = job.completed
+                if done is None or job.completed > done:
+                    done = job.completed
+        done_cycles.append(done)
+    healthy_done: Optional[int] = None
+    for st, done in zip(system.stations, done_cycles):
+        if st.plan.is_rogue or done is None:
+            continue
+        if healthy_done is None or done > healthy_done:
+            healthy_done = done
+    events = tuple(sim.events.as_dicts())
     fingerprint = (
         tuple(tuple(sorted(info.items())) for info in engines),
-        tuple(tuple(sorted(d.items())) for d in sim.events.as_dicts()),
+        tuple(tuple(sorted(d.items())) for d in events),
         tuple(tuple(sorted(st.supervisor.fault_stats.as_dict().items()))
               if st.supervisor is not None else ()
               for st in system.stations),
@@ -304,7 +351,8 @@ def run_system(system: System) -> RunResult:
     )
     return RunResult(fingerprint=fingerprint, engines=engines,
                      violations=violations, trips=trips,
-                     healthy_done=healthy_done, now=sim.now)
+                     healthy_done=healthy_done, now=sim.now,
+                     events=events, done_cycles=tuple(done_cycles))
 
 
 def run_scenario(scenario: Scenario, fast: bool,

@@ -13,7 +13,13 @@ containment bound:
 4. **containment bound** — for single-rogue-master scenarios the
    measured healthy-port completion delta against the fault-free
    baseline respects
-   :class:`~repro.analysis.containment.ContainmentBound`.
+   :class:`~repro.analysis.containment.ContainmentBound`;
+5. **isolation** — on tenanted (multi-domain) scenarios, every faulted
+   tenant is contained, quarantined, and either recovered or retired
+   (graceful degradation), while every healthy tenant's traffic is
+   bit-identical to the fault-free baseline and its completion delay
+   respects the serialized multi-fault containment bound.  A no-op on
+   untenanted scenarios, so legacy campaign digests are unaffected.
 
 :func:`check_scenario` composes all of them; on failure it dumps the
 falsifying scenario as JSON (for CI artifact upload and corpus
@@ -25,7 +31,7 @@ from __future__ import annotations
 import os
 from hashlib import sha256
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional, Set
 
 from ..analysis import ContainmentBound
 from .harness import RunResult, run_scenario
@@ -36,7 +42,8 @@ ARTIFACT_DIR_ENV = "VERIFY_ARTIFACT_DIR"
 DEFAULT_ARTIFACT_DIR = "fuzz-artifacts"
 #: the oracle families, in the order :func:`evaluate_scenario` runs them;
 #: campaigns subset this (e.g. greedy bandwidth sweeps drop "liveness")
-DEFAULT_CHECKS = ("equivalence", "liveness", "protocol", "containment")
+DEFAULT_CHECKS = ("equivalence", "liveness", "protocol", "containment",
+                  "isolation")
 
 
 class OracleViolation(AssertionError):
@@ -88,6 +95,10 @@ def check_liveness(scenario: Scenario, result: RunResult) -> None:
             continue
         if (scenario.shares is not None
                 and scenario.shares[index] == 0.0):
+            continue
+        if plan.is_rogue and scenario.is_tenanted:
+            # a tenant retired by the recovery policy (giveup) may end
+            # the run owed work; the isolation oracle governs it
             continue
         if info["hung"]:
             continue
@@ -148,6 +159,8 @@ def containment_bound_for(scenario: Scenario) -> Optional[ContainmentBound]:
     rogue = scenario.rogue_index
     if rogue is None or scenario.memory.kind != "none":
         return None
+    if len(scenario.rogue_indices) > 1:
+        return None  # multi-fault scenarios are governed by "isolation"
     timeout = scenario.ports[rogue].timeout
     if timeout is None:
         return None
@@ -179,6 +192,114 @@ def check_containment_bound(scenario: Scenario, result: RunResult,
             f"fault-free baseline; analytic bound is {limit} "
             f"(detection={bound.detection_cycles} "
             f"drain={bound.drain_cycles})", scenario)
+
+
+def isolation_bound_for(scenario: Scenario) -> Optional[ContainmentBound]:
+    """The per-tenant bound governing a tenanted fault scenario.
+
+    Applicable when every non-``wild_addr`` rogue has its watchdog
+    armed over a healthy memory.  ``wild_addr`` rogues need no timeout
+    — the region filter catches them at ingest — so an all-wild storm
+    uses a nominal 1-cycle detection term.  The largest armed timeout
+    governs the shared detection window otherwise.
+    """
+    if not scenario.is_tenanted or not scenario.rogue_indices:
+        return None
+    if scenario.memory.kind != "none":
+        return None
+    timeouts = []
+    for index in scenario.rogue_indices:
+        plan = scenario.ports[index]
+        if plan.fault.mode == "wild_addr":
+            continue
+        if plan.timeout is None:
+            return None  # undetectable fault: no analytic bound
+        timeouts.append(plan.timeout)
+    from ..platforms import ZCU102
+    return ContainmentBound(
+        n_ports=len(scenario.ports), nominal_burst=16,
+        memory=ZCU102.dram,
+        timeout_cycles=max(timeouts) if timeouts else 1,
+        rogue_outstanding=8,
+        period=scenario.period if scenario.equal_shares else None)
+
+
+def check_isolation(scenario: Scenario, result: RunResult,
+                    baseline: RunResult) -> None:
+    """Oracle 5: a tenant's fault stays inside its own domain.
+
+    Structural checks, per faulted tenant:
+
+    * the rogue port actually tripped (containment engaged);
+    * the hypervisor quarantined it and then either recoupled it or
+      gave up — graceful degradation, never a silent wedge;
+
+    and per healthy tenant:
+
+    * traffic observables (bytes moved, jobs completed, error
+      responses) are bit-identical to the fault-free baseline — no
+      data or bandwidth leakage across domain boundaries;
+    * job completion is delayed at most the serialized multi-fault
+      containment bound
+      (:meth:`~repro.analysis.containment.ContainmentBound.multi_fault_delay_bound`).
+    """
+    if not scenario.is_tenanted:
+        return
+    rogues = set(scenario.rogue_indices)
+    if not rogues:
+        return
+    # flat family only (scenario validation pins it), so the event-log
+    # port index is the plan index
+    recovery: Dict[int, Set[str]] = {}
+    for event in result.events:
+        if event.get("event") == "port_recovery":
+            recovery.setdefault(event["port"], set()).add(event["kind"])
+    for index in sorted(rogues):
+        info = result.engines[index]
+        if result.trips[index] == 0:
+            raise OracleViolation(
+                "isolation",
+                f"rogue tenant {info['name']} was never contained "
+                "(0 trips)", scenario)
+        kinds = recovery.get(index, set())
+        if "quarantine" not in kinds:
+            raise OracleViolation(
+                "isolation",
+                f"rogue tenant {info['name']} tripped but was never "
+                "quarantined", scenario)
+        if not kinds & {"recouple", "giveup"}:
+            raise OracleViolation(
+                "isolation",
+                f"rogue tenant {info['name']} left in limbo: recovery "
+                "neither recoupled nor gave up within the run", scenario)
+    bound = isolation_bound_for(scenario)
+    limit = (bound.multi_fault_delay_bound(len(rogues))
+             if bound is not None else None)
+    for index, (info, base) in enumerate(zip(result.engines,
+                                             baseline.engines)):
+        if index in rogues:
+            continue
+        for key in ("bytes_read", "bytes_written", "jobs_completed",
+                    "error_responses"):
+            if info[key] != base[key]:
+                raise OracleViolation(
+                    "isolation",
+                    f"healthy tenant {info['name']} {key} changed under "
+                    f"a neighbour's fault: {info[key]} != baseline "
+                    f"{base[key]}", scenario)
+        if limit is None or not result.done_cycles:
+            continue
+        done = result.done_cycles[index]
+        base_done = baseline.done_cycles[index]
+        if done is None or base_done is None:
+            continue
+        delta = done - base_done
+        if delta > limit:
+            raise OracleViolation(
+                "isolation",
+                f"healthy tenant {info['name']} finished {delta} cycles "
+                f"after its fault-free baseline; serialized containment "
+                f"bound for {len(rogues)} fault(s) is {limit}", scenario)
 
 
 # ----------------------------------------------------------------------
@@ -228,10 +349,16 @@ def evaluate_scenario(scenario: Scenario,
         check_liveness(scenario, reference)
     if "protocol" in checks:
         check_protocol(scenario, reference)
+    baseline: Optional[RunResult] = None
     if ("containment" in checks
             and containment_bound_for(scenario) is not None):
         baseline = run_scenario(scenario.baseline(), fast=False)
         check_containment_bound(scenario, reference, baseline)
+    if ("isolation" in checks and scenario.is_tenanted
+            and scenario.rogue_indices):
+        if baseline is None:
+            baseline = run_scenario(scenario.baseline(), fast=False)
+        check_isolation(scenario, reference, baseline)
     return reference
 
 

@@ -37,6 +37,7 @@ from itertools import combinations, product
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, \
     Optional, Sequence, Tuple
 
+from .oracles import DEFAULT_CHECKS
 from .scenario import MasterFault, MemoryFault, PortPlan, Scenario, \
     canonical_json
 
@@ -325,6 +326,72 @@ def compile_faults(a: dict) -> Scenario:
                     horizon=a.get("horizon", 12_000))
 
 
+#: per-tenant grant span in the isolation grid (32 register granules)
+_ISOLATION_SPAN = 0x20000
+
+
+def compile_isolation(a: dict) -> Scenario:
+    """Many-domain tenant-isolation scenarios (fault storms at scale).
+
+    ``n_domains`` tenants each own one port and one disjoint
+    :data:`_ISOLATION_SPAN` grant; ``n_faulted`` of them (seed-chosen)
+    run a fault program from ``mix``: ``wild`` rogues are
+    protocol-compliant masters whose jobs target the *next* tenant's
+    grant (the region filter must contain them), ``hung`` rogues wedge
+    their R channel (the watchdog must contain them), ``mixed``
+    alternates.  Healthy tenants leave their watchdogs disarmed — the
+    region filter is an independent guard — so fair-share queueing at
+    scale can never false-trip them, and the horizon scales with the
+    total enqueued work so the liveness oracle holds at every grid
+    point.
+    """
+    n = a.get("n_domains", 8)
+    n_faulted = max(1, min(a.get("n_faulted", 1), n - 1))  # >= 1 healthy
+    mix = a.get("mix", "wild")
+    job_bytes = a.get("job_bytes", 512)
+    rng = random.Random(a.get("seed", 0))
+    faulted = sorted(rng.sample(range(n), n_faulted))
+    modes: Dict[int, str] = {}
+    for pos, index in enumerate(faulted):
+        if mix == "wild":
+            modes[index] = "wild_addr"
+        elif mix == "hung":
+            modes[index] = "hung_r"
+        else:
+            modes[index] = "wild_addr" if pos % 2 == 0 else "hung_r"
+    span = _ISOLATION_SPAN
+    plans: List[PortPlan] = []
+    for index in range(n):
+        base = index * span
+        mode = modes.get(index)
+        if mode == "wild_addr":
+            target = ((index + 1) % n) * span  # the neighbour's grant
+            plans.append(PortPlan(
+                jobs=(("read", target, max(job_bytes, 256)),),
+                fault=MasterFault(mode="wild_addr")))
+        elif mode == "hung_r":
+            plans.append(PortPlan(
+                # a hung read only wedges (and trips the watchdog) when
+                # the beats left after the hang overflow the 32-deep
+                # eFIFO data queue; 1 KiB = 64 beats guarantees it
+                jobs=(("read", base, max(job_bytes, 1024)),),
+                timeout=a.get("timeout", 400),
+                fault=MasterFault(mode="hung_r",
+                                  hang_after_beats=a.get("hang", 8),
+                                  persistent=a.get("persistent", True))))
+        else:
+            plans.append(PortPlan(jobs=(
+                ("read", base, job_bytes),
+                ("write", base + span // 2, job_bytes))))
+    total_beats = n * 2 * job_bytes // 16
+    return Scenario(family="flat", ports=tuple(plans),
+                    grants=tuple((i * span, span) for i in range(n)),
+                    equal_shares=a.get("equal_shares", False),
+                    period=a.get("period", 2048),
+                    horizon=a.get("horizon", 6_000 + 6 * total_beats),
+                    settle=512)
+
+
 def compile_throughput(a: dict) -> Scenario:
     """Deliberately tiny scenarios for the campaign-throughput bench.
 
@@ -361,9 +428,9 @@ class GridSpec:
     axes: Mapping[str, tuple]
     compile: Callable[[dict], Scenario]
     default_mode: str = "pairwise"
-    #: oracle families the campaign should run on this grid
-    checks: Tuple[str, ...] = ("equivalence", "liveness", "protocol",
-                               "containment")
+    #: oracle families the campaign should run on this grid ("isolation"
+    #: is a no-op on untenanted scenarios, so it rides along for free)
+    checks: Tuple[str, ...] = DEFAULT_CHECKS
 
     def space(self, mode: Optional[str] = None, seed: int = 0,
               samples: int = 64) -> ParamSpace:
@@ -466,6 +533,24 @@ FAULTS_GRID = _register(GridSpec(
         "job_bytes": (512, 1024, 2048),
     },
     compile=compile_faults,
+))
+
+ISOLATION_GRID = _register(GridSpec(
+    name="isolation",
+    description="many-domain tenant isolation: 8-64 tenant domains with "
+                "disjoint stage-2 grants, seed-chosen fault storms "
+                "(wild-address and hung rogues), and healthy-tenant "
+                "leakage/degradation oracles",
+    axes={
+        "n_domains": (8, 16, 32, 64),
+        "n_faulted": (1, 2, 4, 8),
+        "mix": ("wild", "hung", "mixed"),
+        "seed": (3, 11, 27),
+        "job_bytes": (256, 512),
+        "equal_shares": (False, True),
+        "persistent": (False, True),
+    },
+    compile=compile_isolation,
 ))
 
 THROUGHPUT_GRID = _register(GridSpec(

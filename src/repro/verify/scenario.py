@@ -28,8 +28,14 @@ FAMILIES = ("flat", "cascade", "ooo", "multiport")
 #: only), or mixed — HyperConnect + SmartConnect side by side on the
 #: multi-port memory subsystem
 FABRICS = ("hyperconnect", "smartconnect", "mixed")
-#: master misbehaviours (mirrors repro.masters.faulty.FAULT_MODES)
-MASTER_FAULTS = ("none", "hung_r", "withheld_w", "illegal_burst")
+#: master misbehaviours (mirrors repro.masters.faulty.FAULT_MODES, plus
+#: "wild_addr": a protocol-compliant master whose jobs target addresses
+#: outside its tenant grant — only meaningful in tenanted scenarios,
+#: where the HyperConnect's region filter contains it with DECERR)
+MASTER_FAULTS = ("none", "hung_r", "withheld_w", "illegal_burst",
+                 "wild_addr")
+#: granularity of tenant grants (mirrors the region-filter registers)
+GRANT_GRANULE = 4096
 #: memory misbehaviours (mirrors FaultInjectingMemory's knobs)
 MEMORY_FAULTS = ("none", "dead", "freeze", "stall", "error")
 #: families served by the in-order DRAM model, where the fault-injecting
@@ -147,6 +153,11 @@ class Scenario:
     cascade_depth: int = 2
     fabric: str = "hyperconnect"
     shares: Optional[Tuple[float, ...]] = None
+    #: per-port tenant grants ``(base, size)`` — non-None marks a
+    #: *tenanted* scenario: one domain per port, disjoint stage-2
+    #: grants, HyperConnect region filters armed, and (unlike the
+    #: single-fault campaigns) any number of rogue tenants at once
+    grants: Optional[Tuple[Tuple[int, int], ...]] = None
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -158,8 +169,42 @@ class Scenario:
         if self.family in ("cascade", "multiport") and len(self.ports) < 2:
             raise ValueError(f"{self.family} needs >= 2 ports")
         rogues = [p for p in self.ports if p.is_rogue]
-        if len(rogues) > 1:
-            raise ValueError("at most one rogue master per scenario")
+        if self.grants is None:
+            if len(rogues) > 1:
+                raise ValueError("at most one rogue master per "
+                                 "(untenanted) scenario")
+            if any(p.fault.mode == "wild_addr" for p in self.ports):
+                raise ValueError("wild_addr faults need tenant grants "
+                                 "(nothing confines an untenanted port)")
+        else:
+            if self.family != "flat":
+                raise ValueError("tenant grants only build the flat "
+                                 "family")
+            if self.fabric != "hyperconnect":
+                raise ValueError("tenant grants need the hyperconnect "
+                                 "fabric (region filters)")
+            if self.memory.kind != "none":
+                raise ValueError("tenanted scenarios model master-side "
+                                 "faults only; drop the memory fault")
+            if len(self.grants) != len(self.ports):
+                raise ValueError("grants must name a (base, size) per "
+                                 "port")
+            spans = []
+            for index, (base, size) in enumerate(self.grants):
+                if base < 0 or size <= 0:
+                    raise ValueError(
+                        f"grant {index}: base must be >= 0 and size > 0")
+                if base % GRANT_GRANULE or size % GRANT_GRANULE:
+                    raise ValueError(
+                        f"grant {index}: base/size must be multiples of "
+                        f"0x{GRANT_GRANULE:x}")
+                spans.append((base, base + size, index))
+            spans.sort()
+            for (b0, e0, i0), (b1, e1, i1) in zip(spans, spans[1:]):
+                if b1 < e0:
+                    raise ValueError(
+                        f"grants {i0} and {i1} overlap "
+                        f"([0x{b0:x},0x{e0:x}) vs [0x{b1:x},0x{e1:x}))")
         if rogues and self.memory.kind != "none":
             raise ValueError("one fault program per scenario: master "
                              "fault and memory fault are exclusive")
@@ -220,11 +265,26 @@ class Scenario:
 
     @property
     def rogue_index(self) -> Optional[int]:
-        """Index of the (single) rogue port, if any."""
+        """Index of the (single) rogue port, if any.
+
+        Tenanted scenarios may carry several rogues; this returns the
+        first (use :attr:`rogue_indices` for the full set).
+        """
         for index, plan in enumerate(self.ports):
             if plan.is_rogue:
                 return index
         return None
+
+    @property
+    def rogue_indices(self) -> Tuple[int, ...]:
+        """Indices of every rogue port (possibly several, tenanted)."""
+        return tuple(index for index, plan in enumerate(self.ports)
+                     if plan.is_rogue)
+
+    @property
+    def is_tenanted(self) -> bool:
+        """True when the scenario stamps per-port tenant domains."""
+        return self.grants is not None
 
     def baseline(self) -> "Scenario":
         """The fault-free twin used to measure interference deltas.
@@ -253,6 +313,13 @@ class Scenario:
             plan["jobs"] = [list(job) for job in plan["jobs"]]
         if data["shares"] is not None:
             data["shares"] = list(data["shares"])
+        if data["grants"] is None:
+            # omitted-when-absent: untenanted scenarios keep the exact
+            # canonical JSON (and scenario_id) they had before tenancy
+            # existed — corpus and golden campaign digests stay pinned
+            del data["grants"]
+        else:
+            data["grants"] = [list(grant) for grant in data["grants"]]
         return data
 
     @classmethod
@@ -266,6 +333,7 @@ class Scenario:
             )
             for plan in data["ports"])
         shares = data.get("shares")
+        grants = data.get("grants")
         return cls(
             family=data["family"],
             ports=ports,
@@ -278,6 +346,8 @@ class Scenario:
             fabric=data.get("fabric", "hyperconnect"),
             shares=(None if shares is None
                     else tuple(float(s) for s in shares)),
+            grants=(None if grants is None
+                    else tuple((int(b), int(s)) for b, s in grants)),
         )
 
     def to_json(self) -> str:

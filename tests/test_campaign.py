@@ -254,3 +254,67 @@ class TestCli:
     def test_campaign_requires_a_grid(self):
         with pytest.raises(SystemExit):
             cli_main(["campaign"])
+
+
+# ----------------------------------------------------------------------
+# per-record wall-clock timeouts (hung-worker containment)
+# ----------------------------------------------------------------------
+
+def _sleepy_evaluate(scenario, checks, parallel):
+    """Picklable evaluate hook: wedges on the marker scenario.
+
+    Module-level on purpose — `CampaignConfig.evaluate_hook` crosses the
+    worker handoff by reference, so it must be importable in the child.
+    The marker is `settle == 99`; everything else evaluates for real.
+    """
+    if scenario.settle == 99:
+        import time
+        time.sleep(300)
+    from repro.verify import evaluate_scenario
+    return evaluate_scenario(scenario, checks=checks, parallel=parallel)
+
+
+def hanging():
+    """A perfectly valid scenario the hook above refuses to finish."""
+    return Scenario(
+        family="flat",
+        ports=(PortPlan(jobs=(("read", 0x1000_0000, 256),)),),
+        horizon=1_500, settle=99)
+
+
+class TestRecordTimeout:
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(record_timeout=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(record_timeout=-1.5)
+
+    def test_hung_worker_becomes_a_timeout_error_record(self):
+        config = CampaignConfig(record_timeout=5.0,
+                                evaluate_hook=_sleepy_evaluate)
+        scenarios = [tiny(256), hanging(), tiny(512, port=1)]
+        result = run_campaign(scenarios, workers=2, config=config)
+        assert [r["index"] for r in result.records] == [0, 1, 2]
+        stuck = result.records[1]
+        assert stuck["verdict"] == "error"
+        assert "timeout" in stuck["detail"]
+        assert stuck["scenario_id"] == scenario_id(hanging())
+        # the healthy records finished before the straggler was culled
+        assert result.records[0]["verdict"] == "pass"
+        assert result.records[2]["verdict"] == "pass"
+        assert result.counts == {"pass": 2, "error": 1}
+        assert not result.ok
+
+    def test_generous_timeout_leaves_the_digest_untouched(self):
+        scenarios = [tiny(256), tiny(512, kind="write", port=1)]
+        plain = run_campaign(scenarios, workers=1,
+                             config=CampaignConfig())
+        timed = run_campaign(scenarios, workers=2,
+                             config=CampaignConfig(record_timeout=120.0))
+        assert timed.digest == plain.digest
+
+    def test_cli_flag_reaches_the_config(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["campaign", "--grid", "smoke", "--record-timeout", "2.5"])
+        assert args.record_timeout == 2.5

@@ -1,0 +1,136 @@
+"""Unit tests for the buddy allocator behind hypervisor region grants."""
+
+import pytest
+
+from repro.memory import AllocationError, BuddyAllocator
+
+
+class TestConstruction:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(AllocationError):
+            BuddyAllocator(0, 3 * 4096)
+
+    def test_min_block_must_be_power_of_two_and_fit(self):
+        with pytest.raises(AllocationError):
+            BuddyAllocator(0, 1 << 20, min_block=3000)
+        with pytest.raises(AllocationError):
+            BuddyAllocator(0, 4096, min_block=8192)
+
+    def test_base_must_be_size_aligned(self):
+        with pytest.raises(AllocationError):
+            BuddyAllocator(4096, 1 << 20)
+        BuddyAllocator(1 << 20, 1 << 20)   # aligned base is fine
+
+
+class TestAllocation:
+    def test_lowest_address_granted_first(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        assert pool.alloc(4096) == 0
+        assert pool.alloc(4096) == 4096
+        assert pool.alloc(4096) == 8192
+
+    def test_requests_round_up_to_power_of_two(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        address = pool.alloc(5000)
+        assert pool.grant_size(address) == 8192
+
+    def test_requests_round_up_to_min_block(self):
+        pool = BuddyAllocator(0, 1 << 20, min_block=16384)
+        address = pool.alloc(100)
+        assert pool.grant_size(address) == 16384
+
+    def test_nonpositive_request_rejected(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        with pytest.raises(AllocationError):
+            pool.alloc(0)
+        with pytest.raises(AllocationError):
+            pool.alloc(-4096)
+
+    def test_oversized_request_rejected(self):
+        pool = BuddyAllocator(0, 1 << 16)
+        with pytest.raises(AllocationError):
+            pool.alloc((1 << 16) + 1)
+
+    def test_exhaustion_raises(self):
+        pool = BuddyAllocator(0, 4 * 4096)
+        for _ in range(4):
+            pool.alloc(4096)
+        with pytest.raises(AllocationError):
+            pool.alloc(4096)
+
+    def test_base_offset_is_applied(self):
+        pool = BuddyAllocator(1 << 20, 1 << 20)
+        assert pool.alloc(4096) == 1 << 20
+        assert pool.alloc(4096) == (1 << 20) + 4096
+
+
+class TestFreeAndCoalesce:
+    def test_free_returns_block_for_reuse(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        address = pool.alloc(4096)
+        pool.free(address)
+        assert pool.alloc(4096) == address
+
+    def test_coalesce_restores_the_full_pool(self):
+        pool = BuddyAllocator(0, 1 << 18)
+        grants = [pool.alloc(4096) for _ in range(64)]
+        for address in grants:
+            pool.free(address)
+        assert pool.free_bytes == 1 << 18
+        assert pool.largest_free_block == 1 << 18
+
+    def test_partial_free_does_not_overcoalesce(self):
+        pool = BuddyAllocator(0, 4 * 4096)
+        a = pool.alloc(4096)
+        b = pool.alloc(4096)
+        pool.free(a)
+        # b (a's buddy) is still live: the largest free block is the
+        # untouched upper half plus the lone freed page, never the pool
+        assert pool.largest_free_block == 2 * 4096
+        pool.free(b)
+        assert pool.largest_free_block == 4 * 4096
+
+    def test_double_free_rejected(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        address = pool.alloc(4096)
+        pool.free(address)
+        with pytest.raises(AllocationError):
+            pool.free(address)
+
+    def test_free_of_ungranted_address_rejected(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        with pytest.raises(AllocationError):
+            pool.free(0x5000)
+
+
+class TestBookkeeping:
+    def test_stats_track_the_lifecycle(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        a = pool.alloc(4096)
+        b = pool.alloc(8192)
+        pool.free(a)
+        stats = pool.stats()
+        assert stats["allocations"] == 2
+        assert stats["frees"] == 1
+        assert stats["allocated_bytes"] == 8192
+        assert stats["free_bytes"] == (1 << 20) - 8192
+
+    def test_grants_listing_is_sorted(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        addresses = [pool.alloc(4096) for _ in range(5)]
+        pool.free(addresses[2])
+        grants = pool.grants()
+        assert grants == sorted(grants)
+        assert len(grants) == 4
+        assert all(size == 4096 for _, size in grants)
+
+    def test_identical_operation_sequences_grant_identically(self):
+        def run():
+            pool = BuddyAllocator(0, 1 << 20)
+            out = [pool.alloc(size) for size in
+                   (4096, 16384, 4096, 8192, 4096)]
+            pool.free(out[1])
+            out.append(pool.alloc(4096))
+            return out
+
+        assert run() == run()

@@ -18,7 +18,7 @@ import pytest
 from hypothesis import given
 
 from repro.verify import check_scenario
-from repro.verify.strategies import scenarios
+from repro.verify.strategies import scenarios, tenanted_scenarios
 
 pytestmark = pytest.mark.fuzz
 
@@ -42,4 +42,12 @@ def test_advanced_memory_families(scenario):
 def test_all_families_mixed(scenario):
     """The full cross-product in one pool, so shrinking can move between
     families while minimizing a counterexample."""
+    check_scenario(scenario)
+
+
+@given(scenario=tenanted_scenarios())
+def test_tenanted_isolation(scenario):
+    """Multi-domain tenant draws: disjoint stage-2 grants, any subset of
+    tenants rogue at once (wild-address or hung), and the isolation
+    oracle holding alongside the rest of the stack."""
     check_scenario(scenario)
