@@ -15,6 +15,7 @@ experiment harnesses::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -201,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--parallel", type=int, default=None, metavar="N",
                         help="sharded tick-engine worker count (0 = "
                              "serial; default: REPRO_PARALLEL env var)")
+    parser.add_argument("--parallel-backend", default=None,
+                        choices=("auto", "inline", "threads", "processes"),
+                        help="sharded tick-engine backend (default: "
+                             "REPRO_PARALLEL_BACKEND env var, or auto)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser(
@@ -288,6 +293,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     _platform(args.platform)   # validate once, before any work
+    if args.parallel_backend is not None:
+        # the builder reads the env var, so one flag reaches every
+        # simulator any experiment constructs (same plumbing as
+        # REPRO_PARALLEL for call sites without a backend parameter)
+        os.environ["REPRO_PARALLEL_BACKEND"] = args.parallel_backend
     return args.handler(args)
 
 

@@ -1,0 +1,240 @@
+"""A process-exportable offload-farm workload.
+
+The HyperConnect fabric models proper are hub-coupled — ports call into
+the central unit, beats are identity-shared objects — so their shards
+can never leave the parent process.  This module provides the workload
+family the ``processes`` backend exists for: independent compute
+engines that exchange *plain integer tuples* with a hub over
+long-latency unbounded channels, the shape of a host core farming
+hash/compress/filter jobs out to accelerator tiles and collecting
+results a fixed pipeline depth later.
+
+Each :class:`OffloadEngine` satisfies the whole eligibility chain of
+:func:`repro.sim.partition.build_plan`:
+
+* it opts in via :meth:`~repro.sim.Component.process_exportable` and
+  declares its full channel footprint (``wake_channels`` = the request
+  link, ``pushes_channels`` = the result link);
+* both links are unbounded (no backpressure to observe mid-epoch) and
+  their latency sets the epoch length — with the default ``latency=32``
+  an 8-engine farm runs 32 cycles between barriers;
+* payloads are pure int tuples, so every boundary frame takes the
+  :mod:`repro.sim.shardwire` SoA fast path (one int64 buffer per
+  channel per epoch, not per-beat pickles);
+* all mutable state is two counters, exported/imported losslessly.
+
+The per-job digest loop (:func:`offload_digest`) is deliberately
+CPU-bound pure Python: it is the work that worker processes genuinely
+overlap, which threads on a GIL build cannot.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..sim import Channel, Component, Simulator
+
+_MASK63 = (1 << 63) - 1
+_MASK64 = (1 << 64) - 1
+_MIX_MULT = 6364136223846793005
+_MIX_ADD = 1442695040888963407
+_GOLDEN = 0x9E3779B97F4A7C15
+
+#: default request/result link latency; also the epoch length (must be
+#: >= partition.MIN_PROCESS_EPOCH for the shard to stay eligible)
+DEFAULT_LATENCY = 32
+
+
+def offload_digest(seed: int, iters: int) -> int:
+    """Deterministic CPU-bound job kernel (LCG + xorshift mixing).
+
+    Returns a 63-bit value so result payloads stay inside the signed
+    int64 range the SoA wire format requires.
+    """
+    value = (seed ^ _GOLDEN) & _MASK64
+    for _ in range(iters):
+        value = (value * _MIX_MULT + _MIX_ADD) & _MASK64
+        value ^= value >> 29
+    return value & _MASK63
+
+
+def job_seed(job_id: int) -> int:
+    """The seed the hub attaches to job ``job_id`` (63-bit)."""
+    return ((job_id + 1) * _GOLDEN) & _MASK63
+
+
+class OffloadEngine(Component):
+    """One compute tile: pops a request, crunches, pushes the result.
+
+    At most one job is retired per cycle; a request that arrives at
+    cycle ``t`` produces a result visible to the hub at
+    ``t + res.latency``.  The two failure knobs exist for the crash
+    containment tests: ``fail_at_job`` raises mid-tick (a contained
+    worker error), ``exit_at_job`` kills the hosting process outright
+    (a worker death the parent must detect, not hang on).
+    """
+
+    def __init__(self, sim: Simulator, name: str, req: Channel,
+                 res: Channel, work_iters: int = 120,
+                 fail_at_job: Optional[int] = None,
+                 exit_at_job: Optional[int] = None) -> None:
+        super().__init__(sim, name)
+        self.req = req
+        self.res = res
+        self.work_iters = work_iters
+        self.fail_at_job = fail_at_job
+        self.exit_at_job = exit_at_job
+        self.jobs_done = 0
+        self.checksum = 0
+
+    def tick(self, cycle: int) -> None:
+        item = self.req.try_pop()
+        if item is None:
+            return
+        job_id, seed = item
+        if self.fail_at_job is not None and job_id == self.fail_at_job:
+            raise RuntimeError(
+                f"{self.name}: injected failure at job {job_id}")
+        if self.exit_at_job is not None and job_id == self.exit_at_job:
+            os._exit(17)
+        digest = offload_digest(seed, self.work_iters)
+        self.jobs_done += 1
+        self.checksum = (self.checksum * _MIX_MULT + digest) & _MASK63
+        self.res.push((job_id, digest))
+
+    # -- fast-path / partition contracts -------------------------------
+
+    def is_quiescent(self, cycle: int) -> bool:
+        queue = self.req._queue
+        return not queue or queue[0][0] > cycle
+
+    def wake_channels(self) -> list:
+        return [self.req]
+
+    def shard_affinity(self) -> str:
+        return self.name
+
+    # -- processes-backend contracts ------------------------------------
+
+    def process_exportable(self) -> bool:
+        return True
+
+    def pushes_channels(self) -> list:
+        return [self.res]
+
+    def export_state(self) -> dict:
+        return {"jobs_done": self.jobs_done, "checksum": self.checksum}
+
+    def import_state(self, state: dict) -> None:
+        self.jobs_done = state["jobs_done"]
+        self.checksum = state["checksum"]
+
+
+class OffloadHub(Component):
+    """The host side: issues jobs round-robin, folds results.
+
+    Lives on the hub shard (no :meth:`shard_affinity`), so it always
+    ticks on the parent — it is the component the engines' boundary
+    channels connect to.  ``checksum`` folds ``(job_id, digest)`` in
+    arrival order, which is deterministic: result order is fixed by the
+    channels' FIFO + latency semantics regardless of backend.
+    """
+
+    def __init__(self, sim: Simulator, name: str, requests: List[Channel],
+                 results: List[Channel], n_jobs: int,
+                 issue_per_cycle: Optional[int] = None) -> None:
+        super().__init__(sim, name)
+        self.requests = requests
+        self.results = results
+        self.n_jobs = n_jobs
+        self.issue_per_cycle = issue_per_cycle or len(requests)
+        self.next_job = 0
+        self.results_received = 0
+        self.checksum = 0
+
+    def tick(self, cycle: int) -> None:
+        for channel in self.results:
+            item = channel.try_pop()
+            while item is not None:
+                job_id, digest = item
+                self.results_received += 1
+                self.checksum = ((self.checksum * _MIX_MULT
+                                  + job_id * 3 + digest) & _MASK63)
+                item = channel.try_pop()
+        issued = 0
+        n_engines = len(self.requests)
+        while self.next_job < self.n_jobs and issued < self.issue_per_cycle:
+            job_id = self.next_job
+            self.requests[job_id % n_engines].push(
+                (job_id, job_seed(job_id)))
+            self.next_job += 1
+            issued += 1
+
+    @property
+    def done(self) -> bool:
+        """All issued jobs have come back."""
+        return self.results_received >= self.n_jobs
+
+    def is_quiescent(self, cycle: int) -> bool:
+        if self.next_job < self.n_jobs:
+            return False
+        for channel in self.results:
+            queue = channel._queue
+            if queue and queue[0][0] <= cycle:
+                return False
+        return True
+
+    def wake_channels(self) -> list:
+        return list(self.results)
+
+
+def build_offload_farm(sim: Simulator, n_engines: int, *,
+                       latency: int = DEFAULT_LATENCY,
+                       work_iters: int = 120, n_jobs: int = 256,
+                       issue_per_cycle: Optional[int] = None) -> OffloadHub:
+    """Wire an ``n_engines``-tile offload farm into ``sim``.
+
+    Engines register before the hub so their shard stages precede the
+    hub stage in the partition plan.  Returns the hub; engines are
+    reachable as ``hub.engines``.
+    """
+    requests: List[Channel] = []
+    results: List[Channel] = []
+    engines: List[OffloadEngine] = []
+    for index in range(n_engines):
+        req = Channel(sim, f"offload{index}.req", latency=latency,
+                      capacity=None)
+        res = Channel(sim, f"offload{index}.res", latency=latency,
+                      capacity=None)
+        engines.append(OffloadEngine(sim, f"offload{index}", req, res,
+                                     work_iters=work_iters))
+        requests.append(req)
+        results.append(res)
+    hub = OffloadHub(sim, "offload-hub", requests, results, n_jobs=n_jobs,
+                     issue_per_cycle=issue_per_cycle)
+    hub.engines = engines
+    return hub
+
+
+def build_offload_sim(n_engines: int = 4, *,
+                      latency: int = DEFAULT_LATENCY,
+                      work_iters: int = 120, n_jobs: int = 256,
+                      parallel: int = 0, parallel_backend: str = "auto",
+                      name: str = "offload-farm") -> Simulator:
+    """Standalone farm simulator, usable as a spawn-bootstrap recipe.
+
+    The function is its own :attr:`Simulator.parallel_recipe`: it is a
+    module-level callable with picklable arguments, so a spawned worker
+    can rebuild the identical simulator and adopt its shards by name.
+    The hub is reachable via ``sim.lookup("offload-hub")``.
+    """
+    sim = Simulator(name, parallel=parallel,
+                    parallel_backend=parallel_backend)
+    build_offload_farm(sim, n_engines, latency=latency,
+                       work_iters=work_iters, n_jobs=n_jobs)
+    sim.parallel_recipe = (build_offload_sim, (n_engines,), {
+        "latency": latency, "work_iters": work_iters, "n_jobs": n_jobs,
+        "parallel": 0, "parallel_backend": "inline", "name": name,
+    })
+    return sim

@@ -17,8 +17,9 @@ from .errors import (
 )
 from .events import EventBus, PortFaultEvent, PortRecoveryEvent
 from .kernel import Simulator
-from .parallel import ParallelEngine
-from .partition import ShardPlan, Stage, build_plan
+from .parallel import ParallelEngine, measured_backend
+from .partition import ProcessShardInfo, ShardPlan, Stage, build_plan
+from .procpool import ProcessShardPool
 from .stats import (
     Histogram,
     KernelSkipStats,
@@ -51,6 +52,9 @@ __all__ = [
     "CommitCohorts",
     "WakeHeap",
     "ParallelEngine",
+    "measured_backend",
+    "ProcessShardInfo",
+    "ProcessShardPool",
     "ShardPlan",
     "Stage",
     "build_plan",

@@ -156,9 +156,14 @@ class Simulator:
         path either way; the three-way oracle in ``repro.verify``
         enforces this differentially.
     parallel_backend:
-        ``"auto"`` (measure whether a thread pool beats inline staged
-        execution on this host, once per process), ``"threads"``, or
-        ``"inline"``.
+        ``"auto"`` (pick ``processes`` when the plan exports shards and
+        cores exist, else measure whether a thread pool beats inline
+        staged execution on this host, once per process),
+        ``"threads"``, ``"inline"``, or ``"processes"`` (long-lived
+        worker processes own the process-exportable shards and exchange
+        boundary beats at epoch barriers; degrades gracefully to
+        ``threads`` when the wiring or platform cannot support it —
+        see :attr:`ParallelEngine.backend_resolution`).
     """
 
     def __init__(self, name: str = "sim", clock_hz: float = 150e6,
@@ -174,6 +179,14 @@ class Simulator:
         #: sharded-engine worker count (0 = disabled); see repro.sim.parallel
         self.parallel = int(parallel)
         self.parallel_backend = parallel_backend
+        #: picklable (builder, args, kwargs) that reproduces this
+        #: simulator; required by the processes backend under spawn-like
+        #: start methods, where live components are never pickled
+        self.parallel_recipe = None
+        #: multiprocessing start-method override for the processes
+        #: backend ("fork" / "spawn" / "forkserver"; None = platform
+        #: default) — mainly for tests exercising the spawn bootstrap
+        self.parallel_mp_context = None
         self._parallel_engine = None
         #: when armed (by the parallel engine during a sharded tick
         #: phase), wake() / _wake_component() hand their target to this

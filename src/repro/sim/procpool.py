@@ -1,0 +1,546 @@
+"""Long-lived worker processes for the ``processes`` shard backend.
+
+The parent's :class:`~repro.sim.parallel.ParallelEngine` drives one
+:class:`ProcessShardPool` per simulator.  Each worker process owns one
+or more *process-exportable* shards (proven safe by
+:func:`repro.sim.partition.build_plan` — see
+:class:`~repro.sim.partition.ProcessShardInfo`) and advances them in
+**epochs** of ``lookahead`` cycles between barriers:
+
+* **sync-down** (once per ``run_to``) — the parent ships the current
+  cycle, every member's :meth:`~repro.sim.Component.export_state`
+  snapshot, and the internal/inbound channel queues.  The parent's
+  copies stay authoritative *between* runs, so external mutations
+  (driver APIs enqueueing work) need no tracking: the next run re-seeds.
+* **epoch** — the parent sends ``(run, start, end, frames)`` where
+  ``frames`` carries the inbound boundary entries committed since the
+  last barrier (packed by :mod:`repro.sim.shardwire`, so the transfer
+  is a bulk buffer, not per-beat pickling), then executes the hub and
+  any non-exportable groups for the same span concurrently.  The worker
+  runs a minimal poll-or-tick loop over its members — registration
+  order, ``is_quiescent`` honoured, dirty channels committed per cycle
+  via :meth:`Channel._commit` — which is exactly the reference cycle
+  restricted to the shard.
+* **barrier** — the worker replies with the outbound entries its shard
+  committed (harvested straight from the channel queues: the
+  ``(ready_cycle, payload)`` commit layout *is* the wire format), the
+  number of inbound entries it popped, any deferred wake/event records
+  tagged ``(cycle, registration_index)``, and its tick statistics.  The
+  parent splices outbound entries into the real channels (with the same
+  wake-heap and watcher-wake duties a commit performs), trims popped
+  inbound entries, and replays the records sorted by
+  ``(cycle, index)`` — serial order.
+* **sync-up** (once per ``run_to``) — workers ship member states and
+  internal queues back; the parent imports them so its mirrors are
+  exact before control returns to user code.
+
+Why epochs are exact (not approximate): eligibility requires every
+boundary channel's latency ``L >= lookahead E``.  A beat the other side
+pushes at cycle ``t`` becomes visible at ``t + L``; for any ``t`` inside
+epoch ``k`` (``t >= kE``) that is ``>= (k+1)E`` — the *next* epoch.  So
+everything visible during an epoch was committed in earlier epochs and
+has already crossed at a barrier; no mid-epoch exchange can be needed.
+
+Crash containment: a member raising inside a worker comes back as an
+``("error", traceback)`` reply and is re-raised as
+:class:`SimulationError` naming the worker; a worker dying outright is
+detected by the liveness poll around every receive.  Neither hangs the
+parent.
+
+Spawn-safe bootstrap: under the ``fork`` start method workers inherit
+the object graph and the shard descriptors are passed by reference
+(sync-down makes fork-time staleness irrelevant).  Under ``spawn`` (or
+``forkserver``) live components must never be pickled — the parent
+instead ships ``Simulator.parallel_recipe``, a picklable
+``(builder, args, kwargs)`` triple, and the child rebuilds the whole
+simulator, re-derives the plan, and adopts its shards by name.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from .errors import SimulationError
+from .shardwire import pack_entries, unpack_entries
+
+#: seconds the parent waits on a live worker before declaring it hung
+_REPLY_TIMEOUT = 300.0
+
+#: liveness-poll granularity while waiting on a reply
+_POLL_INTERVAL = 0.02
+
+
+# ----------------------------------------------------------------------
+# child side
+# ----------------------------------------------------------------------
+
+class _WorkerShard:
+    """One shard's state inside a worker process."""
+
+    __slots__ = ("key", "members", "internal", "inbound", "outbound",
+                 "ran", "skipped")
+
+    def __init__(self, key: str, members: List[Tuple[int, Any]],
+                 internal: List[Any], inbound: List[Any],
+                 outbound: List[Any]) -> None:
+        self.key = key
+        self.members = members
+        self.internal = internal
+        self.inbound = inbound
+        self.outbound = outbound
+        self.ran = 0
+        self.skipped = 0
+
+
+def _shards_from_recipe(recipe, keys, expected_members):
+    """Spawn-mode bootstrap: rebuild the simulator, adopt shards by name.
+
+    The builder must reproduce the parent's registration order (the
+    record indices below must mean the same serial positions); member
+    names are cross-checked so a divergent build fails loudly instead
+    of silently reordering replay.
+    """
+    from .partition import build_plan
+
+    builder, args, kwargs = recipe
+    sim = builder(*args, **kwargs)
+    sim._rebuild_wiring()
+    plan = build_plan(sim)
+    shards = []
+    for key in keys:
+        info = plan.process_shards.get(key)
+        if info is None:
+            raise SimulationError(
+                f"spawn recipe rebuilt a plan without process shard "
+                f"{key!r} (blocker: {plan.process_blockers.get(key)})")
+        names = [comp.name for _idx, comp in info.members]
+        if names != expected_members[key]:
+            raise SimulationError(
+                f"spawn recipe rebuilt shard {key!r} with members "
+                f"{names}, parent expected {expected_members[key]}")
+        shards.append(_WorkerShard(key, info.members, list(info.internal),
+                                   list(info.inbound), list(info.outbound)))
+    return sim, shards
+
+
+def _worker_main(conn, bootstrap) -> None:
+    """Worker process entry: serve epoch requests until told to stop."""
+    try:
+        if bootstrap[0] == "objects":
+            # fork start method: descriptors arrived by inheritance
+            sim, descriptors = bootstrap[1], bootstrap[2]
+            shards = [_WorkerShard(*d) for d in descriptors]
+        else:
+            sim, shards = _shards_from_recipe(*bootstrap[1:])
+        # the child runs its own mini-kernel; make sure no nested
+        # parallel engine can ever spin up
+        sim.parallel = 0
+        sim._parallel_engine = None
+        by_name = {}
+        for shard in shards:
+            for channel in (*shard.internal, *shard.inbound,
+                            *shard.outbound):
+                by_name[channel.name] = channel
+        members = {comp.name for shard in shards
+                   for _idx, comp in shard.members}
+        comp_by_name = {comp.name: comp for shard in shards
+                        for _idx, comp in shard.members}
+        records: List[Tuple[int, int, str, Any]] = []
+
+        def route_wake(target) -> None:
+            # wakes aimed at this worker's own members are no-ops here
+            # (the mini-loop polls every member every cycle); anything
+            # else must replay on the parent in serial order
+            if target is not None and target.name in members:
+                return
+            records.append((sim._cycle, _current[0], "wake",
+                            None if target is None else target.name))
+
+        def route_event(event) -> None:
+            records.append((sim._cycle, _current[0], "event", event))
+
+        _current = [0]  # registration index of the member being ticked
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        op = message[0]
+        try:
+            if op == "run":
+                _op, start, end, frames = message
+                for name, frame in frames.items():
+                    channel = by_name[name]
+                    entries = unpack_entries(frame)
+                    channel._queue.extend(entries)
+                    channel._occupancy += len(entries)
+                popped_before = {
+                    channel.name: channel.popped_total
+                    for shard in shards for channel in shard.inbound}
+                dirty = sim._dirty_channels
+                sim._wake_router = route_wake
+                sim.events._defer = route_event
+                try:
+                    for cycle in range(start, end):
+                        sim._cycle = cycle
+                        for shard in shards:
+                            for idx, component in shard.members:
+                                _current[0] = idx
+                                if component.is_quiescent(cycle):
+                                    shard.skipped += 1
+                                else:
+                                    component.tick(cycle)
+                                    shard.ran += 1
+                        if dirty:
+                            for channel in dirty:
+                                channel._commit(cycle)
+                            dirty.clear()
+                    sim._cycle = end
+                finally:
+                    sim._wake_router = None
+                    sim.events._defer = None
+                out_frames = {}
+                for shard in shards:
+                    for channel in shard.outbound:
+                        queue = channel._queue
+                        if queue:
+                            out_frames[channel.name] = pack_entries(
+                                list(queue))
+                            queue.clear()
+                            channel._occupancy = len(channel._staged)
+                pops = {}
+                for shard in shards:
+                    for channel in shard.inbound:
+                        delta = (channel.popped_total
+                                 - popped_before[channel.name])
+                        if delta:
+                            pops[channel.name] = delta
+                stats = {shard.key: (shard.ran, shard.skipped)
+                         for shard in shards}
+                for shard in shards:
+                    shard.ran = 0
+                    shard.skipped = 0
+                conn.send(("done", out_frames, pops, list(records), stats))
+                records.clear()
+            elif op == "seed":
+                _op, cycle, payload = message
+                sim._cycle = cycle
+                for key, data in payload.items():
+                    for name, state in data["states"].items():
+                        comp_by_name[name].import_state(state)
+                    for name, (frame, pushed, popped) in (
+                            data["queues"].items()):
+                        channel = by_name[name]
+                        channel._queue.clear()
+                        channel._queue.extend(unpack_entries(frame))
+                        channel._staged.clear()
+                        channel._popped_this_cycle = 0
+                        channel._occupancy = len(channel._queue)
+                        channel._dirty = False
+                        # adopt the parent's totals: the fork-time copies
+                        # are stale, and collect() ships these back
+                        channel.pushed_total = pushed
+                        channel.popped_total = popped
+                for shard in shards:
+                    for channel in shard.outbound:
+                        channel._queue.clear()
+                        channel._staged.clear()
+                        channel._popped_this_cycle = 0
+                        channel._occupancy = 0
+                        channel._dirty = False
+                sim._dirty_channels.clear()
+                records.clear()
+                conn.send(("ok",))
+            elif op == "collect":
+                payload = {}
+                for shard in shards:
+                    payload[shard.key] = {
+                        "states": {comp.name: comp.export_state()
+                                   for _idx, comp in shard.members},
+                        "queues": {
+                            channel.name: (pack_entries(
+                                list(channel._queue)),
+                                channel.pushed_total,
+                                channel.popped_total)
+                            for channel in shard.internal},
+                    }
+                conn.send(("state", payload))
+            elif op == "stop":
+                conn.send(("ok",))
+                break
+            else:
+                conn.send(("error", f"unknown op {op!r}"))
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    __slots__ = ("name", "process", "conn", "shard_keys")
+
+    def __init__(self, name: str, process, conn,
+                 shard_keys: List[str]) -> None:
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.shard_keys = shard_keys
+
+
+class ProcessShardPool:
+    """Parent-side manager of the shard worker processes."""
+
+    def __init__(self, sim, shard_infos: Dict[str, Any], workers: int,
+                 mp_context=None) -> None:
+        import multiprocessing
+
+        self.sim = sim
+        self.infos = dict(shard_infos)
+        ctx = mp_context
+        if ctx is None:
+            ctx = multiprocessing.get_context(
+                getattr(sim, "parallel_mp_context", None))
+        self._ctx = ctx
+        self.start_method = ctx.get_start_method()
+        #: per inbound channel: queue entries already shipped (a prefix
+        #: of the parent queue; worker pops consume it from the front)
+        self._shipped: Dict[str, int] = {}
+        self._workers: List[_Worker] = []
+        self.closed = False
+
+        keys = sorted(self.infos)
+        n_workers = max(1, min(workers, len(keys)))
+        assignment: List[List[str]] = [[] for _ in range(n_workers)]
+        for pos, key in enumerate(keys):
+            assignment[pos % n_workers].append(key)
+
+        recipe = getattr(sim, "parallel_recipe", None)
+        for worker_no, worker_keys in enumerate(assignment):
+            if not worker_keys:
+                continue
+            if self.start_method == "fork":
+                descriptors = [
+                    (key, self.infos[key].members,
+                     list(self.infos[key].internal),
+                     list(self.infos[key].inbound),
+                     list(self.infos[key].outbound))
+                    for key in worker_keys]
+                bootstrap = ("objects", sim, descriptors)
+            else:
+                if recipe is None:
+                    raise SimulationError(
+                        f"processes backend under start method "
+                        f"{self.start_method!r} needs "
+                        f"Simulator.parallel_recipe (live components "
+                        f"are never pickled)")
+                expected = {key: [comp.name for _idx, comp
+                                  in self.infos[key].members]
+                            for key in worker_keys}
+                bootstrap = ("recipe", recipe, worker_keys, expected)
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main, args=(child_conn, bootstrap),
+                name=f"{sim.name}-shard-{worker_no}", daemon=True)
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(process.name, process,
+                                         parent_conn, worker_keys))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _recv(self, worker: _Worker):
+        """Receive one reply with liveness and hang detection."""
+        conn = worker.conn
+        deadline = time.monotonic() + _REPLY_TIMEOUT
+        try:
+            while not conn.poll(_POLL_INTERVAL):
+                if not worker.process.is_alive():
+                    raise SimulationError(
+                        f"shard worker {worker.name!r} (shards "
+                        f"{worker.shard_keys}) died with exit code "
+                        f"{worker.process.exitcode}")
+                if time.monotonic() > deadline:
+                    raise SimulationError(
+                        f"shard worker {worker.name!r} unresponsive "
+                        f"for {_REPLY_TIMEOUT:.0f}s")
+            message = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise SimulationError(
+                f"shard worker {worker.name!r} (shards "
+                f"{worker.shard_keys}) closed its pipe: {exc}") from exc
+        if message[0] == "error":
+            raise SimulationError(
+                f"shard worker {worker.name!r} failed:\n{message[1]}")
+        return message
+
+    # ------------------------------------------------------------------
+    # sync-down / sync-up
+    # ------------------------------------------------------------------
+
+    def seed(self) -> None:
+        """Ship authoritative parent state down to every worker."""
+        self._shipped.clear()
+        for worker in self._workers:
+            payload = {}
+            for key in worker.shard_keys:
+                info = self.infos[key]
+                queues = {}
+                for channel in info.internal:
+                    queues[channel.name] = (
+                        pack_entries(list(channel._queue)),
+                        channel.pushed_total, channel.popped_total)
+                for channel in info.inbound:
+                    entries = list(channel._queue)
+                    queues[channel.name] = (
+                        pack_entries(entries),
+                        channel.pushed_total, channel.popped_total)
+                    self._shipped[channel.name] = len(entries)
+                payload[key] = {
+                    "states": {comp.name: comp.export_state()
+                               for _idx, comp in info.members},
+                    "queues": queues,
+                }
+            worker.conn.send(("seed", self.sim._cycle, payload))
+        for worker in self._workers:
+            self._recv(worker)
+
+    def collect(self) -> None:
+        """Pull worker state back into the parent mirrors (sync-up)."""
+        for worker in self._workers:
+            worker.conn.send(("collect",))
+        for worker in self._workers:
+            message = self._recv(worker)
+            for key, data in message[1].items():
+                info = self.infos[key]
+                by_name = {channel.name: channel
+                           for channel in info.internal}
+                for _idx, comp in info.members:
+                    comp.import_state(data["states"][comp.name])
+                for name, (frame, pushed, popped) in (
+                        data["queues"].items()):
+                    channel = by_name[name]
+                    channel._queue.clear()
+                    channel._queue.extend(unpack_entries(frame))
+                    channel._staged.clear()
+                    channel._popped_this_cycle = 0
+                    channel._occupancy = len(channel._queue)
+                    channel._dirty = False
+                    channel.pushed_total = pushed
+                    channel.popped_total = popped
+
+    # ------------------------------------------------------------------
+    # epoch barrier
+    # ------------------------------------------------------------------
+
+    def dispatch_epoch(self, start: int, end: int) -> None:
+        """Send the next epoch's work (new inbound entries) to workers."""
+        for worker in self._workers:
+            frames = {}
+            for key in worker.shard_keys:
+                for channel in self.infos[key].inbound:
+                    shipped = self._shipped.get(channel.name, 0)
+                    queue = channel._queue
+                    if len(queue) > shipped:
+                        fresh = list(queue)[shipped:]
+                        frames[channel.name] = pack_entries(fresh)
+                        self._shipped[channel.name] = len(queue)
+            worker.conn.send(("run", start, end, frames))
+
+    def collect_epoch(self, shard_stats: Dict[str, Any]) -> None:
+        """Barrier: apply every worker's epoch results to the parent.
+
+        Outbound entries splice into the real channel queues with the
+        same duties a commit performs (future-head heap push, watcher
+        wakes); inbound pops trim the shipped prefix; deferred
+        wake/event records from *all* workers replay merged in
+        ``(cycle, registration_index)`` order — the serial order.
+        """
+        sim = self.sim
+        heap = sim._wakeheap
+        wake = sim._wake_component_direct
+        now = sim._cycle
+        all_records: List[Tuple[int, int, str, Any]] = []
+        for worker in self._workers:
+            message = self._recv(worker)
+            _op, out_frames, pops, records, stats = message
+            for name, frame in out_frames.items():
+                channel = sim._names[name]
+                entries = unpack_entries(frame)
+                queue = channel._queue
+                was_empty = not queue
+                queue.extend(entries)
+                channel._occupancy += len(entries)
+                channel.pushed_total += len(entries)
+                sim._quiescent_until = 0
+                if was_empty and queue[0][0] > now:
+                    if heap.push(channel, queue[0][0]):
+                        sim.skip_stats.heap_pushes += 1
+                for component in channel._watchers:
+                    if component._k_asleep:
+                        wake(component)
+            for name, count in pops.items():
+                channel = sim._names[name]
+                queue = channel._queue
+                for _ in range(count):
+                    queue.popleft()
+                channel._occupancy -= count
+                channel.popped_total += count
+                self._shipped[name] -= count
+            all_records.extend(records)
+            for key, (ran, skipped) in stats.items():
+                entry = shard_stats.get(key)
+                if entry is not None:
+                    entry.ticks_run += ran
+                    entry.ticks_skipped += skipped
+                sim.skip_stats.ticks_run += ran
+                sim.skip_stats.ticks_skipped += skipped
+        if all_records:
+            sim._quiescent_until = 0
+            all_records.sort(key=lambda record: (record[0], record[1]))
+            dispatch = sim.events._dispatch
+            for _cycle, _idx, kind, payload in all_records:
+                if kind == "wake":
+                    if payload is None:
+                        sim._wake_all_direct()
+                    else:
+                        target = sim._names.get(payload)
+                        if target is not None:
+                            wake(target)
+                else:
+                    dispatch(payload)
+
+    # ------------------------------------------------------------------
+
+    def close(self, terminate: bool = False) -> None:
+        """Shut every worker down (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for worker in self._workers:
+            if terminate:
+                worker.process.terminate()
+                continue
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()

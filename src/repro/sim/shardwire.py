@@ -1,0 +1,104 @@
+"""Boundary-beat wire format for the ``processes`` shard backend.
+
+When a shard runs inside a worker process, the only state that crosses
+the process boundary per epoch is the set of *boundary-channel* queue
+entries — ``(ready_cycle, payload)`` pairs, exactly the layout the
+cohort commit (:mod:`repro.sim.commit`) stages them in.  This module
+packs a channel's entries into a single frame for the pipe:
+
+* **SoA fast path** — when every payload is a plain tuple of ints of
+  uniform arity (the shape every packed-beat workload uses), the frame
+  is one ``int64`` matrix: column 0 the ready cycles, columns 1..k the
+  payload fields.  Serializing it is a single buffer copy — the barrier
+  cost is a bulk memcpy, not per-beat pickling.  numpy builds the
+  matrix when available; the stdlib ``array`` module is the fallback
+  and shares the same byte layout.
+* **raw fallback** — anything else ships as the entry list and pays
+  normal pickling.  Correct for arbitrary picklable payloads, just
+  slower; the eligibility analysis never *requires* SoA-able payloads.
+
+Frames are ``(tag, ...)`` tuples so the unpacker is self-describing and
+a mixed stream (some channels SoA, some raw) needs no negotiation.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, List, Sequence, Tuple
+
+try:  # optional, as in repro.sim.commit
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the standard env
+    _np = None
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+#: frame tags
+SOA = "soa"
+RAW = "raw"
+
+
+def _soa_shape(entries: Sequence[Tuple[int, Any]]) -> int:
+    """Payload arity if every entry fits the SoA layout, else -1.
+
+    The check is strict on purpose: ``bool`` is an ``int`` subclass and
+    floats truncate silently under an int64 cast, either of which would
+    round-trip to a *different* payload and break byte-identity — so
+    only exact ``int`` fields within int64 range qualify.
+    """
+    arity = -1
+    for _ready, payload in entries:
+        if type(payload) is not tuple:
+            return -1
+        if arity < 0:
+            arity = len(payload)
+        elif len(payload) != arity:
+            return -1
+        for value in payload:
+            if type(value) is not int:
+                return -1
+            if not (_INT64_MIN <= value <= _INT64_MAX):
+                return -1
+    return arity
+
+
+def pack_entries(entries: Sequence[Tuple[int, Any]]) -> Tuple:
+    """Pack channel queue entries into a self-describing frame."""
+    if not entries:
+        return (RAW, [])
+    arity = _soa_shape(entries)
+    if arity < 0:
+        return (RAW, list(entries))
+    if _np is not None:
+        matrix = _np.empty((len(entries), arity + 1), dtype=_np.int64)
+        for row, (ready, payload) in enumerate(entries):
+            matrix[row, 0] = ready
+            if arity:
+                matrix[row, 1:] = payload
+        return (SOA, len(entries), arity, matrix.tobytes())
+    flat = array("q")
+    for ready, payload in entries:
+        flat.append(ready)
+        flat.extend(payload)
+    return (SOA, len(entries), arity, flat.tobytes())
+
+
+def unpack_entries(frame: Tuple) -> List[Tuple[int, Any]]:
+    """Invert :func:`pack_entries`, restoring ``(ready, payload)`` pairs."""
+    tag = frame[0]
+    if tag == RAW:
+        return list(frame[1])
+    if tag != SOA:
+        raise ValueError(f"unknown shardwire frame tag {tag!r}")
+    _tag, count, arity, payload_bytes = frame
+    stride = arity + 1
+    if _np is not None:
+        matrix = _np.frombuffer(payload_bytes, dtype=_np.int64)
+        rows = matrix.reshape(count, stride).tolist()
+    else:
+        flat = array("q")
+        flat.frombytes(payload_bytes)
+        rows = [flat[i * stride:(i + 1) * stride]
+                for i in range(count)]
+    return [(int(row[0]), tuple(int(v) for v in row[1:])) for row in rows]

@@ -156,7 +156,7 @@ class KernelSkipStats:
     __slots__ = ("cycles_total", "cycles_polled", "cycles_frozen",
                  "ticks_run", "ticks_skipped", "ticks_slept",
                  "horizon_scans", "heap_pushes", "heap_pops",
-                 "commit_batches", "commit_channels")
+                 "commit_batches", "commit_channels", "resolved_backend")
 
     def __init__(self) -> None:
         self.reset()
@@ -174,6 +174,11 @@ class KernelSkipStats:
         self.heap_pops = 0
         self.commit_batches = 0
         self.commit_channels = 0
+        # which parallel backend actually executed ("inline", "threads",
+        # "processes", or None when the serial path ran); written by the
+        # parallel engine's backend resolution so bench sidecars and
+        # regressions are attributable to the engine that produced them
+        self.resolved_backend = None
 
     @property
     def work_avoided_fraction(self) -> float:
@@ -202,6 +207,7 @@ class KernelSkipStats:
             "commit_batches": self.commit_batches,
             "commit_channels": self.commit_channels,
             "work_avoided_fraction": self.work_avoided_fraction,
+            "resolved_backend": self.resolved_backend,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -65,7 +65,8 @@ class SocSystem:
               period: int = 65536, with_store: bool = False,
               max_granularity: Optional[int] = None,
               name: str = "soc", fast: bool = False,
-              parallel: Optional[int] = None) -> "SocSystem":
+              parallel: Optional[int] = None,
+              parallel_backend: Optional[str] = None) -> "SocSystem":
         """Assemble a system.
 
         Parameters
@@ -94,11 +95,20 @@ class SocSystem:
             the ``REPRO_PARALLEL`` environment variable (default 0,
             i.e. disabled), so whole experiment suites can be switched
             over without touching call sites.
+        parallel_backend:
+            Engine backend for the sharded tick engine ("auto",
+            "inline", "threads", or "processes").  ``None`` reads the
+            ``REPRO_PARALLEL_BACKEND`` environment variable (default
+            "auto"), mirroring ``REPRO_PARALLEL``.
         """
         if parallel is None:
             parallel = int(os.environ.get("REPRO_PARALLEL", "0") or 0)
+        if parallel_backend is None:
+            parallel_backend = os.environ.get(
+                "REPRO_PARALLEL_BACKEND", "auto") or "auto"
         sim = Simulator(name, clock_hz=platform.pl_clock_hz, fast=fast,
-                        parallel=parallel)
+                        parallel=parallel,
+                        parallel_backend=parallel_backend)
         store = MemoryStore() if with_store else None
         if interconnect == "hyperconnect":
             master = AxiLink(sim, f"{name}.m",

@@ -63,9 +63,11 @@ from .oracles import (
     check_scenario,
     containment_bound_for,
     dump_falsifying_example,
+    equivalence_label,
     evaluate_scenario,
     fingerprint_digest,
     isolation_bound_for,
+    scenario_path_digests,
 )
 from .scenario import (
     FABRICS,
@@ -119,7 +121,9 @@ __all__ = [
     "containment_bound_for",
     "dump_falsifying_example",
     "evaluate_scenario",
+    "equivalence_label",
     "fingerprint_digest",
+    "scenario_path_digests",
     "isolation_bound_for",
     "FABRICS",
     "FAMILIES",

@@ -186,15 +186,18 @@ def _arm_tenants(hypervisor: Hypervisor, scenario: Scenario,
 
 
 def build_system(scenario: Scenario, fast: bool,
-                 parallel: int = 0) -> System:
+                 parallel: int = 0,
+                 parallel_backend: str = "auto") -> System:
     """Instantiate the scenario's topology family on a fresh simulator.
 
-    ``parallel`` is the sharded-engine worker count (0 = serial); it is
-    the third leg of the kernel-equivalence oracle, exercised against
-    the reference and serial-fast legs by ``check_equivalence``.
+    ``parallel`` is the sharded-engine worker count (0 = serial) and
+    ``parallel_backend`` selects its engine ("auto" / "inline" /
+    "threads" / "processes"); together they form the candidate legs of
+    the kernel-equivalence oracle, exercised against the reference and
+    serial-fast legs by ``check_equivalence``.
     """
     sim = Simulator("verify", clock_hz=ZCU102.pl_clock_hz, fast=fast,
-                    parallel=parallel)
+                    parallel=parallel, parallel_backend=parallel_backend)
     timing = OOO_TIMING if scenario.family == "ooo" else ZCU102.dram
     plans = scenario.ports
     stations: List[Station] = []
@@ -356,6 +359,8 @@ def run_system(system: System) -> RunResult:
 
 
 def run_scenario(scenario: Scenario, fast: bool,
-                 parallel: int = 0) -> RunResult:
+                 parallel: int = 0,
+                 parallel_backend: str = "auto") -> RunResult:
     """Convenience: build then run."""
-    return run_system(build_system(scenario, fast, parallel=parallel))
+    return run_system(build_system(scenario, fast, parallel=parallel,
+                                   parallel_backend=parallel_backend))

@@ -544,3 +544,35 @@ class TestParallelCorpusEquivalence:
         system.sim.parallel_backend = "threads"
         result = run_system(system)
         assert fingerprint_digest(result) == entry.digest
+
+    @pytest.mark.parametrize("entry", CORPUS[:2], ids=lambda e: e.name)
+    def test_corpus_digests_processes_backend(self, entry):
+        """Same property again with the processes backend requested.
+
+        The verify fabric's shards are hub-coupled and therefore never
+        process-exportable, so this replay exercises the documented
+        graceful degradation (processes -> threads) end to end: the
+        request must neither error nor change a single digest, and the
+        resolution trail must record why it fell back.
+        """
+        from repro.verify.harness import build_system, run_system
+
+        system = build_system(entry.scenario, fast=False, parallel=3,
+                              parallel_backend="processes")
+        result = run_system(system)
+        assert fingerprint_digest(result) == entry.digest
+        resolution = system.sim._parallel_engine.backend_resolution
+        assert resolution["requested"] == "processes"
+        assert resolution["resolved"] == "threads"
+        assert "processes unavailable" in resolution["reason"]
+
+    @pytest.mark.parametrize("entry", CORPUS[:1], ids=lambda e: e.name)
+    def test_corpus_path_digests_labeled(self, entry):
+        """The labeled four-way digest map agrees on every path."""
+        from repro.verify import scenario_path_digests
+
+        digests = scenario_path_digests(entry.scenario, parallel=2)
+        assert set(digests) == {"reference", "fast",
+                                "parallel=2:threads",
+                                "parallel=2:processes"}
+        assert set(digests.values()) == {entry.digest}

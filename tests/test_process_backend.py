@@ -1,0 +1,394 @@
+"""The ``processes`` shard backend: eligibility, identity, containment.
+
+The offload farm (:mod:`repro.masters.offload`) is the reference
+process-exportable workload: engines exchanging pure-int tuples with a
+hub over long-latency unbounded channels.  These tests pin
+
+* the partition analysis (which shards are offered to worker processes
+  and why the rest are not),
+* byte-identity of every observable across serial / inline / threads /
+  processes,
+* the epoch barrier's edge cases — worker crash and worker death are
+  contained errors, ``run_until`` stops on the same cycle everywhere,
+  and a wiring-stale re-plan mid-simulation keeps working,
+* the spawn-safe bootstrap (recipe rebuild) and every graceful
+  fallback to threads,
+* the SoA wire format round-trip.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.masters.offload import (
+    build_offload_farm,
+    build_offload_sim,
+    job_seed,
+    offload_digest,
+)
+from repro.sim import Channel, Component, SimulationError, Simulator
+from repro.sim.parallel import measured_backend
+from repro.sim.partition import (
+    MIN_PROCESS_EPOCH,
+    build_plan,
+)
+from repro.sim.shardwire import pack_entries, unpack_entries
+
+N_ENGINES = 4
+N_JOBS = 64
+WORK_ITERS = 40
+RUN_CYCLES = 1200
+
+
+def _run_farm(parallel, backend, cycles=RUN_CYCLES, **kwargs):
+    sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS,
+                            work_iters=WORK_ITERS, parallel=parallel,
+                            parallel_backend=backend, **kwargs)
+    sim.run(cycles)
+    fingerprint = _farm_fingerprint(sim)
+    sim.finish()
+    return fingerprint
+
+
+def _farm_fingerprint(sim):
+    hub = sim.lookup("offload-hub")
+    engines = [sim.lookup(f"offload{i}") for i in range(N_ENGINES)]
+    return (sim.now, hub.next_job, hub.results_received, hub.checksum,
+            tuple((e.jobs_done, e.checksum) for e in engines),
+            tuple((sim.lookup(f"offload{i}.req").pushed_total,
+                   sim.lookup(f"offload{i}.req").popped_total,
+                   sim.lookup(f"offload{i}.res").pushed_total,
+                   sim.lookup(f"offload{i}.res").popped_total)
+                  for i in range(N_ENGINES)))
+
+
+# ----------------------------------------------------------------------
+# partition eligibility
+# ----------------------------------------------------------------------
+
+class TestEligibility:
+
+    def test_farm_shards_are_process_exportable(self):
+        sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS)
+        sim._rebuild_wiring()
+        plan = build_plan(sim)
+        assert sorted(plan.process_shards) == [
+            f"offload{i}" for i in range(N_ENGINES)]
+        assert plan.process_blockers == {}
+        assert plan.process_parallelizable
+        for info in plan.process_shards.values():
+            assert info.lookahead == 32  # both boundary links' latency
+            assert len(info.inbound) == 1
+            assert len(info.outbound) == 1
+            assert info.internal == []
+        assert plan.process_lookahead == 32
+
+    def test_short_latency_blocks(self):
+        sim = Simulator("short")
+        build_offload_farm(sim, 2, latency=MIN_PROCESS_EPOCH - 1,
+                           n_jobs=8)
+        sim._rebuild_wiring()
+        plan = build_plan(sim)
+        assert plan.process_shards == {}
+        for key in ("offload0", "offload1"):
+            assert "minimum process epoch" in plan.process_blockers[key]
+
+    def test_bounded_boundary_blocks(self):
+        sim = Simulator("bounded")
+        hub = build_offload_farm(sim, 2, n_jobs=8)
+        sim.lookup("offload0.req").capacity = 64
+        sim._rebuild_wiring()
+        plan = build_plan(sim)
+        assert "offload0" not in plan.process_shards
+        assert "bounded" in plan.process_blockers["offload0"]
+        assert "offload1" in plan.process_shards
+        del hub
+
+    def test_listener_blocks(self):
+        sim = Simulator("listened")
+        build_offload_farm(sim, 2, n_jobs=8)
+        sim.lookup("offload1.res").subscribe_push(lambda cycle, item: None)
+        sim._rebuild_wiring()
+        plan = build_plan(sim)
+        assert "offload1" not in plan.process_shards
+        assert "listeners" in plan.process_blockers["offload1"]
+
+    def test_opt_out_component_blocks(self):
+        sim = Simulator("optout")
+        build_offload_farm(sim, 2, n_jobs=8)
+        req = sim.lookup("offload0.req")
+
+        class Tagalong(Component):
+            def tick(self, cycle):
+                pass
+
+            def shard_affinity(self):
+                return "offload0"
+
+            def wake_channels(self):
+                return [req]
+
+        Tagalong(sim, "tagalong")
+        sim._rebuild_wiring()
+        plan = build_plan(sim)
+        assert "offload0" not in plan.process_shards
+        assert "process_exportable" in plan.process_blockers["offload0"]
+
+    def test_fabric_shards_are_not_exportable(self, hc_soc):
+        hc_soc.sim._rebuild_wiring()
+        plan = build_plan(hc_soc.sim)
+        assert plan.process_shards == {}
+
+
+# ----------------------------------------------------------------------
+# observable identity
+# ----------------------------------------------------------------------
+
+class TestIdentity:
+
+    def test_all_backends_match_serial_reference(self):
+        reference = _run_farm(0, "auto")
+        assert reference[2] == N_JOBS  # every job came back
+        for backend in ("inline", "threads", "processes"):
+            for workers in (2, 3):
+                assert _run_farm(workers, backend) == reference, (
+                    f"{backend} with {workers} workers diverged")
+
+    def test_multiple_runs_reseed_workers(self):
+        """External mutations between run() calls reach the workers
+        (the parent mirrors are authoritative at every sync-down)."""
+
+        def staged(parallel, backend):
+            sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS,
+                                    work_iters=WORK_ITERS,
+                                    parallel=parallel,
+                                    parallel_backend=backend)
+            hub = sim.lookup("offload-hub")
+            sim.run(300)
+            hub.n_jobs += 16  # driver-level mutation between runs
+            sim.run(RUN_CYCLES - 300)
+            out = (_farm_fingerprint(sim), hub.n_jobs)
+            sim.finish()
+            return out
+
+        reference = staged(0, "auto")
+        assert staged(2, "processes") == reference
+
+    def test_run_until_stops_on_same_cycle(self):
+        def until_done(parallel, backend):
+            sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS,
+                                    work_iters=WORK_ITERS,
+                                    parallel=parallel,
+                                    parallel_backend=backend)
+            hub = sim.lookup("offload-hub")
+            sim.run_until(lambda: hub.done, max_cycles=RUN_CYCLES,
+                          check_every=64)
+            stopped = sim.now
+            sim.finish()
+            return stopped
+
+        reference = until_done(0, "auto")
+        for backend in ("inline", "threads", "processes"):
+            assert until_done(2, backend) == reference, backend
+
+
+# ----------------------------------------------------------------------
+# backend resolution
+# ----------------------------------------------------------------------
+
+class TestResolution:
+
+    def test_processes_resolution_recorded(self):
+        sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS, parallel=2,
+                                parallel_backend="processes")
+        sim.run(RUN_CYCLES)
+        assert sim.skip_stats.resolved_backend == "processes"
+        assert sim.skip_stats.as_dict()["resolved_backend"] == "processes"
+        resolution = sim._parallel_engine.backend_resolution
+        assert resolution["requested"] == "processes"
+        assert resolution["resolved"] == "processes"
+        assert resolution["process_shards"] == [
+            f"offload{i}" for i in range(N_ENGINES)]
+        sim.finish()
+
+    def test_single_worker_stays_inline(self):
+        sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS, parallel=1,
+                                parallel_backend="processes")
+        sim.run(RUN_CYCLES)
+        assert sim.skip_stats.resolved_backend == "threads"
+        reason = sim._parallel_engine.backend_resolution["reason"]
+        assert ">= 2 workers" in reason
+        sim.finish()
+
+    def test_measured_backend_considers_platform(self):
+        assert measured_backend(1, "fork", True) == "inline"
+        # capable plans win on multi-core hosts regardless of method
+        if (os.cpu_count() or 1) > 1:
+            assert measured_backend(4, "fork", True) == "processes"
+            assert measured_backend(4, "spawn", True) == "processes"
+        else:
+            assert measured_backend(4, "fork", True) in ("threads",
+                                                         "inline")
+        # incapable plans fall to the measured threads/inline verdict
+        assert measured_backend(4, "fork", False) in ("threads", "inline")
+
+    def test_unknown_backend_still_rejected(self):
+        with pytest.raises(SimulationError):
+            sim = Simulator("bad", parallel=2, parallel_backend="fibers")
+            build_offload_farm(sim, 2, n_jobs=8)
+            sim.run(64)
+
+
+# ----------------------------------------------------------------------
+# spawn bootstrap and graceful fallback
+# ----------------------------------------------------------------------
+
+class TestBootstrap:
+
+    def test_spawn_recipe_rebuild(self):
+        reference = _run_farm(0, "auto")
+        sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS,
+                                work_iters=WORK_ITERS, parallel=2,
+                                parallel_backend="processes")
+        sim.parallel_mp_context = "spawn"
+        sim.run(RUN_CYCLES)
+        assert sim.skip_stats.resolved_backend == "processes"
+        assert _farm_fingerprint(sim) == reference
+        sim.finish()
+
+    def test_spawn_without_recipe_falls_back(self):
+        reference = _run_farm(0, "auto")
+        sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS,
+                                work_iters=WORK_ITERS, parallel=2,
+                                parallel_backend="processes")
+        sim.parallel_mp_context = "spawn"
+        sim.parallel_recipe = None
+        sim.run(RUN_CYCLES)
+        assert sim.skip_stats.resolved_backend == "threads"
+        reason = sim._parallel_engine.backend_resolution["reason"]
+        assert "parallel_recipe" in reason
+        assert _farm_fingerprint(sim) == reference
+        sim.finish()
+
+
+# ----------------------------------------------------------------------
+# barrier edge cases
+# ----------------------------------------------------------------------
+
+class TestContainment:
+
+    def test_member_exception_is_contained(self):
+        sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS, parallel=2,
+                                parallel_backend="processes")
+        sim.lookup("offload0").fail_at_job = 8
+        with pytest.raises(SimulationError, match="injected failure"):
+            sim.run(RUN_CYCLES)
+        sim.finish()
+
+    def test_worker_death_is_contained(self):
+        sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS, parallel=2,
+                                parallel_backend="processes")
+        sim.lookup("offload1").exit_at_job = 9
+        with pytest.raises(SimulationError,
+                           match="died with exit code|closed its pipe"):
+            sim.run(RUN_CYCLES)
+        sim.finish()
+
+    def test_mid_simulation_subscribe_replans(self):
+        """A wiring-stale re-plan mid-simulation keeps the survivors on
+        the processes backend and routes the listened shard back to the
+        parent, where its listeners can fire."""
+
+        def staged(parallel, backend):
+            log = []
+            sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS,
+                                    work_iters=WORK_ITERS,
+                                    parallel=parallel,
+                                    parallel_backend=backend)
+            sim.run(300)
+            sim.lookup("offload0.res").subscribe_push(
+                lambda cycle, item: log.append((cycle, item)))
+            sim.lookup("offload0.req").subscribe_pop(
+                lambda cycle, item: log.append((cycle, item)))
+            sim.run(RUN_CYCLES - 300)
+            out = (_farm_fingerprint(sim), tuple(log))
+            engine = sim._parallel_engine
+            sim.finish()
+            return out, engine
+
+        reference, _engine = staged(0, "auto")
+        sharded, engine = staged(2, "processes")
+        assert sharded == reference
+        resolution = engine.backend_resolution
+        assert resolution["resolved"] == "processes"
+        assert "offload0" not in resolution["process_shards"]
+        assert "listeners" in resolution["process_blockers"]["offload0"]
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+
+class TestShardwire:
+
+    def test_soa_roundtrip(self):
+        entries = [(cycle, (cycle * 3, -cycle, cycle ** 2))
+                   for cycle in range(50)]
+        frame = pack_entries(entries)
+        assert frame[0] == "soa"
+        assert unpack_entries(frame) == entries
+
+    def test_raw_fallback_for_non_int_payloads(self):
+        entries = [(1, ("job", 2)), (2, (3, 4))]
+        frame = pack_entries(entries)
+        assert frame[0] == "raw"
+        assert unpack_entries(frame) == entries
+
+    def test_bool_and_overflow_stay_raw(self):
+        # bool is an int subclass and would silently round-trip to int
+        assert pack_entries([(1, (True, 2))])[0] == "raw"
+        assert pack_entries([(1, (1 << 63,))])[0] == "raw"
+        assert pack_entries([(1, (-(1 << 63),))])[0] == "soa"
+
+    def test_empty_and_mixed_arity(self):
+        assert unpack_entries(pack_entries([])) == []
+        assert pack_entries([(1, (1,)), (2, (1, 2))])[0] == "raw"
+
+    def test_farm_traffic_takes_soa_path(self):
+        entries = [(cycle + 32, (job, job_seed(job)))
+                   for cycle, job in enumerate(range(16))]
+        assert pack_entries(entries)[0] == "soa"
+        digests = [(cycle + 32, (job, offload_digest(job_seed(job), 8)))
+                   for cycle, job in enumerate(range(16))]
+        assert pack_entries(digests)[0] == "soa"
+
+
+# ----------------------------------------------------------------------
+# randomized sweep (nightly budget runs 400 examples)
+# ----------------------------------------------------------------------
+
+@pytest.mark.fuzz
+@settings(deadline=None, max_examples=25)
+@given(workers=st.integers(min_value=2, max_value=4),
+       n_engines=st.integers(min_value=2, max_value=6),
+       n_jobs=st.integers(min_value=1, max_value=96),
+       latency=st.sampled_from((8, 32, 96)),
+       backend=st.sampled_from(("threads", "processes")))
+def test_farm_identity_fuzz(workers, n_engines, n_jobs, latency, backend):
+    """Randomized farm shapes: 2-4 workers on either real backend must
+    match the serial reference exactly (the nightly hypothesis profile
+    deepens this sweep)."""
+
+    def run(parallel, chosen):
+        sim = build_offload_sim(n_engines, n_jobs=n_jobs, latency=latency,
+                                work_iters=8, parallel=parallel,
+                                parallel_backend=chosen)
+        hub = sim.lookup("offload-hub")
+        sim.run_until(lambda: hub.done, max_cycles=50_000,
+                      check_every=128)
+        out = (sim.now, hub.checksum, hub.results_received)
+        sim.finish()
+        return out
+
+    assert run(workers, backend) == run(0, "auto")
