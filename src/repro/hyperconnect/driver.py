@@ -37,6 +37,7 @@ from .regs import (
     REGION_PAGES_REG,
     RegisterFile,
     port_register,
+    region_epoch_register,
     region_register,
 )
 
@@ -188,6 +189,22 @@ class HyperConnectDriver:
         base = self.regs.read(region_register(port, REGION_BASE_REG))
         return {"base": base * REGION_GRANULE,
                 "size": pages * REGION_GRANULE}
+
+    def region_epoch(self, port: int) -> int:
+        """The port's region-filter retarget counter (read-only reg).
+
+        Bumped by the hypervisor on every grant/revoke/re-grant that
+        reprograms the port's filter, so software can observe that a
+        revocation has committed with a single register read.
+        """
+        self._check_port(port)
+        return self.regs.read(region_epoch_register(port))
+
+    def note_region_retarget(self, port: int) -> None:
+        """Advance a port's region epoch (hypervisor-internal poke)."""
+        self._check_port(port)
+        reg = region_epoch_register(port)
+        self.regs.poke(reg, self.regs.read(reg) + 1)
 
     def faults(self, port: int) -> int:
         """Containment entries (watchdog + protocol trips) of a port."""

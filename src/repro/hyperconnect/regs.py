@@ -30,6 +30,9 @@ Register map (32-bit registers, byte offsets)::
       +0x00  REGION_BASE      granted region base, 4 KiB pages
       +0x04  REGION_PAGES     granted region size, 4 KiB pages;
                               0 = region filter disabled
+    0x2000 + i*0x4           REGION_EPOCH, port i: read-only counter
+                             bumped on every region-filter retarget
+                             (grant/revoke/re-grant commit marker)
 """
 
 from __future__ import annotations
@@ -68,6 +71,13 @@ REGION_PAGES_REG = 0x04
 #: granularity of the region-grant registers (one store page)
 REGION_GRANULE = 4096
 
+# per-port region-epoch aperture: a read-only counter bumped by the
+# hypervisor every time a port's region filter is retargeted (grant,
+# revoke, re-grant).  Software uses it to detect that a revocation has
+# committed without polling the base/pages pair for a torn update.
+REGION_EPOCH_OFFSET = 0x2000
+REGION_EPOCH_STRIDE = 0x4
+
 #: budget register value meaning "no reservation limit"
 BUDGET_UNLIMITED = 0xFFFF_FFFF
 
@@ -89,6 +99,11 @@ def port_register(port: int, field_offset: int) -> int:
 def region_register(port: int, field_offset: int) -> int:
     """Byte offset of a per-port region-grant register."""
     return REGION_BASE_OFFSET + port * REGION_STRIDE + field_offset
+
+
+def region_epoch_register(port: int) -> int:
+    """Byte offset of a port's read-only region-epoch counter."""
+    return REGION_EPOCH_OFFSET + port * REGION_EPOCH_STRIDE
 
 
 class RegisterFile:
@@ -125,6 +140,8 @@ class RegisterFile:
             self._read_only.add(port_register(port, PORT_FAULTS))
             self._values[region_register(port, REGION_BASE_REG)] = 0
             self._values[region_register(port, REGION_PAGES_REG)] = 0
+            self._values[region_epoch_register(port)] = 0
+            self._read_only.add(region_epoch_register(port))
         self._write_callbacks: List[Callable[[int, int], None]] = []
         #: dynamic read providers (live hardware counters)
         self._providers: Dict[int, Callable[[], int]] = {}

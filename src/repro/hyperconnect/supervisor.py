@@ -171,14 +171,36 @@ class TransactionSupervisor(Component):
         #: synthesized deliveries are accounted uniformly.
         self._inflight_reads: Deque[list] = deque()
         self._inflight_writes: Deque[AddrBeat] = deque()
+        #: W-emission ledger: ``[txn_id, beats_not_yet_pushed]`` per
+        #: upstream write, in AW-push order.  AXI write data is not
+        #: interleaved, so W pushes decrement the head entry.  The ledger
+        #: exists for revocation: when a planned quiesce synthesizes a B
+        #: before the engine has emitted every W beat, the shortfall is
+        #: remembered so the late beats can be swallowed after recouple
+        #: instead of wedging the port (nothing downstream routes them).
+        self._w_expected: Deque[list] = deque()
+        #: future W pushes that belong to revocation-retired writes
+        self._w_skip_push = 0
+        #: residual W beats already in the eFIFO awaiting swallow
+        self._w_residue = 0
         #: containment state: once a watchdog or protocol trip fires the
         #: port is decoupled and the TS switches to orphan completion
         self.faulted = False
         self.fault_cycle: Optional[int] = None
         self._synth_resp = Resp.SLVERR
         self.fault_stats = PortFaultStats()
+        #: lifetime count of hypervisor-initiated revocation quiesces
+        #: (deliberately NOT part of fault_stats: a revocation is a
+        #: planned transition, not a fault, and must not perturb the
+        #: pinned fault-stat digests)
+        self.revocations = 0
+        #: True between begin_revocation and clear_fault/reset: gates the
+        #: residue capture so watchdog/protocol containment is untouched
+        self._revoking = False
         ha_link.r.subscribe_push(self._on_r_push)
         ha_link.b.subscribe_push(self._on_b_push)
+        ha_link.aw.subscribe_push(self._on_aw_push)
+        ha_link.w.subscribe_push(self._on_w_push)
 
     # ------------------------------------------------------------------
     # orphan accounting (return-channel push subscriptions)
@@ -195,7 +217,42 @@ class TransactionSupervisor(Component):
     def _on_b_push(self, cycle: int, beat) -> None:
         """One B response reached the HA; the oldest write is answered."""
         if self._inflight_writes:
-            self._inflight_writes.popleft()
+            origin = self._inflight_writes.popleft()
+            if self._revoking:
+                self._note_retired_write(origin.txn_id)
+
+    def _on_aw_push(self, cycle: int, beat) -> None:
+        """The engine started a write burst; it owes ``length`` W beats."""
+        self._w_expected.append([beat.txn_id, beat.length])
+
+    def _on_w_push(self, cycle: int, beat) -> None:
+        """One W beat entered the eFIFO from the engine.
+
+        If retired writes still owe pushes, this beat is theirs (the W
+        stream is in order) and must be swallowed rather than routed;
+        otherwise it advances the oldest live write's ledger entry.
+        """
+        if self._w_skip_push > 0:
+            self._w_skip_push -= 1
+            self._w_residue += 1
+            return
+        if self._w_expected:
+            entry = self._w_expected[0]
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self._w_expected.popleft()
+
+    def _note_retired_write(self, txn_id) -> None:
+        """A revocation answered this write early: remember the W beats
+        the engine has not pushed yet, so they can be swallowed when
+        they arrive after recouple (decoupling gates the engine's
+        pushes, so waiting for them before commit would deadlock)."""
+        for index, entry in enumerate(self._w_expected):
+            if entry[0] == txn_id:
+                if entry[1] > 0:
+                    self._w_skip_push += entry[1]
+                del self._w_expected[index]
+                return
 
     # ------------------------------------------------------------------
     # central-unit interface
@@ -348,12 +405,51 @@ class TransactionSupervisor(Component):
             outstanding_writes=self.outstanding_writes,
             detail=detail))
 
+    def begin_revocation(self, cycle: int) -> None:
+        """Enter containment for a hypervisor-initiated grant revocation.
+
+        Same drain machinery as a watchdog trip — decouple, discard
+        pending requests, complete orphans with synthesized ``DECERR``
+        (the evicted tenant's view of its vanished grant) — but it is a
+        planned transition, not a fault: no :class:`PortFaultEvent` is
+        published (recovery agents must not auto-retry a deliberate
+        revocation) and no trip counter moves.  A port already in
+        containment stays on its fault path; the revocation rides the
+        drain that is already underway.
+        """
+        if self.faulted:
+            return
+        self.faulted = True
+        self.fault_cycle = cycle
+        self._synth_resp = Resp.DECERR
+        self.revocations += 1
+        self._revoking = True
+        self._pending_ar.clear()
+        self._pending_aw.clear()
+        self.ha_link.decouple()
+        self.wake()
+        self.sim.wake()
+
     def _containment_tick(self, cycle: int) -> None:
         """Drain the decoupled port and complete its orphans (delegates
         to the pure :func:`drain_and_complete_orphans` helper)."""
+        self._swallow_residual_w()
         drain_and_complete_orphans(self.ha_link, self._inflight_reads,
                                    self._inflight_writes, self._synth_resp,
                                    self.fault_stats)
+
+    def _swallow_residual_w(self) -> None:
+        """Discard W beats owed by revocation-retired writes.
+
+        Their B was synthesized during the quiesce; once the engine is
+        recoupled it finishes pushing the burst it had started, and no
+        consumer exists for those beats (the EXBAR only pops W for
+        routed sub-writes) — without this they wedge the port forever.
+        """
+        while self._w_residue > 0 and self.ha_link.w.can_pop():
+            self.ha_link.w.pop()
+            self._w_residue -= 1
+            self.fault_stats.drained_w_beats += 1
 
     @property
     def drained(self) -> bool:
@@ -380,6 +476,7 @@ class TransactionSupervisor(Component):
         """Leave containment (hypervisor recovery, after :meth:`reset`)."""
         self.faulted = False
         self.fault_cycle = None
+        self._revoking = False
         self.sim.wake()
 
     # ------------------------------------------------------------------
@@ -390,6 +487,8 @@ class TransactionSupervisor(Component):
             return
         if not self.coupled or not self.enabled:
             return
+        if self._w_residue:
+            self._swallow_residual_w()
         deadline = self._watchdog_deadline()
         if deadline is not None and cycle >= deadline:
             self._trip(cycle, "watchdog_timeout", Resp.SLVERR,
@@ -476,6 +575,10 @@ class TransactionSupervisor(Component):
         link = self.ha_link
         if not link.gate.coupled or not self.enabled:
             return True
+        if self._w_residue:
+            queue = link.w._queue
+            if queue and queue[0][0] <= cycle:
+                return False
         # channel and budget guards inlined: this predicate is the fast
         # path's per-cycle poll of every supervisor, so it must cost less
         # than the tick it elides
@@ -558,6 +661,10 @@ class TransactionSupervisor(Component):
         self._write_issue_cycles.clear()
         self._inflight_reads.clear()
         self._inflight_writes.clear()
+        self._w_expected.clear()
+        self._w_skip_push = 0
+        self._w_residue = 0
         self.faulted = False
         self.fault_cycle = None
+        self._revoking = False
         self.sim.wake()

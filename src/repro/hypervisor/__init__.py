@@ -1,6 +1,7 @@
 """Type-1 hypervisor layer: domains, isolation, integration flow."""
 
-from .accessctl import AccessControl, AccessViolation, ViolationRecord
+from .accessctl import (AccessControl, AccessViolation, TransitionRecord,
+                        ViolationRecord)
 from .domain import Criticality, Domain, MemoryRegion
 from .hypervisor import (
     HYPERCONNECT_CTRL_BASE,
@@ -9,11 +10,13 @@ from .hypervisor import (
 )
 from .integration import FpgaDesign, PlacedAccelerator, SystemIntegrator
 from .interrupts import Interrupt, InterruptController
-from .recovery import FaultRecoveryAgent, RecoveryPolicy
+from .recovery import (FaultRecoveryAgent, RecoveryPolicy,
+                       RevocationController, RevocationOrder)
 
 __all__ = [
     "AccessControl",
     "AccessViolation",
+    "TransitionRecord",
     "ViolationRecord",
     "Criticality",
     "Domain",
@@ -28,4 +31,6 @@ __all__ = [
     "InterruptController",
     "FaultRecoveryAgent",
     "RecoveryPolicy",
+    "RevocationController",
+    "RevocationOrder",
 ]

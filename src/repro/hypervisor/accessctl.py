@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List
+from typing import Deque, Dict, List, Optional
 
 from ..sim.errors import ReproError
 from .domain import Domain, MemoryRegion
@@ -37,6 +37,31 @@ class ViolationRecord:
     address: int
     count: int
     reason: str
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """Audit entry for a grant-table transition (grant / revoke).
+
+    Tenant-churn campaigns replay a scripted revoke/re-grant sequence
+    and compare the resulting trail byte-for-byte against a golden
+    file, so the record is JSON-native via :meth:`as_dict`.
+    """
+
+    kind: str          # "grant" | "revoke"
+    domain: str
+    base: int
+    size: int
+    cycle: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "domain": self.domain,
+            "base": self.base,
+            "size": self.size,
+            "cycle": self.cycle,
+        }
 
 
 class AccessControl:
@@ -64,8 +89,13 @@ class AccessControl:
         self.violations: Deque[ViolationRecord] = deque(maxlen=audit_depth)
         #: lifetime denial count (survives ring-buffer eviction)
         self.total_violations = 0
+        #: most recent grant-table transitions (bounded ring buffer)
+        self.transitions: Deque[TransitionRecord] = deque(maxlen=audit_depth)
+        #: lifetime transition count (survives ring-buffer eviction)
+        self.total_transitions = 0
 
-    def grant(self, domain: Domain, region: MemoryRegion) -> None:
+    def grant(self, domain: Domain, region: MemoryRegion,
+              cycle: Optional[int] = None) -> None:
         """Allow ``domain`` to access ``region`` (control registers of its
         own HAs, its DRAM buffers, ...)."""
         if region.overlaps(self.hyperconnect_window):
@@ -73,6 +103,36 @@ class AccessControl:
                 f"cannot grant {domain.name!r} a region overlapping the "
                 f"HyperConnect control window")
         self._grants.setdefault(domain.name, []).append(region)
+        self._record("grant", domain.name, region, cycle)
+
+    def revoke(self, domain: Domain, region: MemoryRegion,
+               cycle: Optional[int] = None) -> None:
+        """Withdraw a previously granted region from ``domain``.
+
+        Subsequent :meth:`check` calls against the range are denied (and
+        audited) like any other unmatched access.  Raises
+        :class:`AccessViolation` when the domain holds no such grant —
+        a revocation that silently misses would leave the caller
+        believing an access path was closed when it was not.
+        """
+        regions = self._grants.get(domain.name, [])
+        if region not in regions:
+            raise AccessViolation(
+                f"domain {domain.name!r} holds no grant at "
+                f"0x{region.base:x} (+0x{region.size:x})")
+        regions.remove(region)
+        self._record("revoke", domain.name, region, cycle)
+
+    def grants_of(self, domain_name: str) -> List[MemoryRegion]:
+        """Snapshot of a domain's current grants."""
+        return list(self._grants.get(domain_name, []))
+
+    def _record(self, kind: str, domain_name: str, region: MemoryRegion,
+                cycle: Optional[int]) -> None:
+        self.transitions.append(
+            TransitionRecord(kind, domain_name, region.base, region.size,
+                             cycle))
+        self.total_transitions += 1
 
     def check(self, domain: Domain, address: int, count: int = 4) -> None:
         """Validate a guest access; raises :class:`AccessViolation`.

@@ -19,22 +19,23 @@ models the hypervisor responsibilities the paper enumerates:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..hyperconnect.driver import HyperConnectDriver
 from ..hyperconnect.hyperconnect import HyperConnect
 from ..hyperconnect.regs import REGION_GRANULE
 from ..masters.engine import AxiMasterEngine
-from ..memory.buddy import BuddyAllocator
+from ..memory.buddy import AllocationError, BuddyAllocator
 from ..memory.store import MemoryStore
 from ..memory.virt import Stage2Table, VirtualizedStore
 from ..sim.errors import ConfigurationError
-from ..sim.events import PortRecoveryEvent
+from ..sim.events import GrantRevocationEvent, PortRecoveryEvent
 from .accessctl import AccessControl, AccessViolation
 from .domain import Criticality, Domain, MemoryRegion
 from .integration import FpgaDesign
 from .interrupts import InterruptController
-from .recovery import FaultRecoveryAgent, RecoveryPolicy
+from .recovery import (FaultRecoveryAgent, RecoveryPolicy,
+                       RevocationController, RevocationOrder)
 
 #: default placement of the HyperConnect control window in the PS map
 HYPERCONNECT_CTRL_BASE = 0xA000_0000
@@ -74,10 +75,15 @@ class Hypervisor:
         self.default_recovery_policy = RecoveryPolicy()
         self._recovery_policies: Dict[str, RecoveryPolicy] = {}
         self.recovery: Optional[FaultRecoveryAgent] = None
+        self.revocation: Optional[RevocationController] = None
         #: memory virtualization (set up by :meth:`attach_memory`)
         self.store: Optional[MemoryStore] = None
         self.allocator: Optional[BuddyAllocator] = None
         self._stage2: Dict[str, Stage2Table] = {}
+        #: allocator blocks backing each grant, keyed by (domain, base).
+        #: ``grant_memory`` grants are one buddy block; pinned
+        #: ``adopt_region`` grants may decompose into several.
+        self._backing: Dict[Tuple[str, int], List[int]] = {}
 
     # ------------------------------------------------------------------
     # domain lifecycle
@@ -221,7 +227,8 @@ class Hypervisor:
             self.allocator.free(host_base)
             raise
         region = domain.add_region(host_base, block)
-        self.access.grant(domain, region)
+        self.access.grant(domain, region, cycle=self.sim.now)
+        self._backing[(domain.name, host_base)] = [host_base]
         if domain.ports:
             self._apply_region_filters(domain)
         return region
@@ -241,14 +248,31 @@ class Hypervisor:
             guest_base = base
         self.stage2(domain_name).map(guest_base, size, base)
         region = domain.add_region(base, size)
-        self.access.grant(domain, region)
+        self.access.grant(domain, region, cycle=self.sim.now)
+        if self.allocator is not None:
+            # claim the pinned range from the managed pool so a later
+            # revoke/release coalesces it back; placements outside the
+            # pool (or colliding with it) stay untracked, as before
+            try:
+                blocks = self.allocator.reserve(base, size)
+            except AllocationError:
+                blocks = None
+            if blocks is not None:
+                self._backing[(domain.name, base)] = blocks
         if domain.ports:
             self._apply_region_filters(domain)
         return region
 
     def release_memory(self, domain_name: str,
                        region: MemoryRegion) -> None:
-        """Return a granted region to the allocator and drop its window."""
+        """Return a granted region to the allocator and drop its window.
+
+        Idle-time operation: refuses while any of the domain's ports has
+        in-flight traffic, because yanking the window under a running
+        burst would leave stale translations landing in freed memory.
+        Live teardown is :meth:`revoke_memory`, which quiesces and
+        drains first.
+        """
         if self.allocator is None:
             raise ConfigurationError("no managed memory attached")
         domain = self.domain(domain_name)
@@ -256,15 +280,35 @@ class Hypervisor:
             raise ConfigurationError(
                 f"domain {domain_name!r} holds no grant at "
                 f"0x{region.base:x}")
+        for port in domain.ports:
+            if not self.hyperconnect.supervisors[port].drained:
+                raise ConfigurationError(
+                    f"domain {domain_name!r} port {port} has in-flight "
+                    "traffic; release_memory() is an idle-time "
+                    "operation — use revoke_memory() to tear down a "
+                    "grant under traffic")
         table = self.stage2(domain_name)
-        for window in table.windows:
-            if window.host_base == region.base:
-                table.unmap(window.guest_base)
-                break
+        window = table.window_for_host(region.base)
+        if window is not None:
+            table.unmap(window.guest_base)
         domain.regions.remove(region)
-        self.allocator.free(region.base)
+        self.access.revoke(domain, region, cycle=self.sim.now)
+        self._release_backing(domain.name, region)
         if domain.ports:
             self._apply_region_filters(domain)
+
+    def _release_backing(self, domain_name: str,
+                         region: MemoryRegion) -> None:
+        """Coalesce a grant's allocator blocks back into the free pool."""
+        blocks = self._backing.pop((domain_name, region.base), None)
+        if self.allocator is None:
+            return
+        if blocks is not None:
+            for address in blocks:
+                self.allocator.free(address)
+        elif self.allocator.is_granted(region.base):
+            # legacy grant without a backing record
+            self.allocator.free(region.base)
 
     def domain_store(self, domain_name: str) -> VirtualizedStore:
         """The domain's view of memory: every access translated (and
@@ -285,6 +329,7 @@ class Hypervisor:
         if not domain.regions:
             for port in domain.ports:
                 self.driver.clear_region_filter(port)
+                self.driver.note_region_retarget(port)
             return
         base = min(region.base for region in domain.regions)
         end = max(region.end for region in domain.regions)
@@ -293,6 +338,7 @@ class Hypervisor:
             end += REGION_GRANULE - end % REGION_GRANULE
         for port in domain.ports:
             self.driver.set_region_filter(port, base, end - base)
+            self.driver.note_region_retarget(port)
 
     # ------------------------------------------------------------------
     # fault recovery (watchdog containment aftermath)
@@ -326,6 +372,133 @@ class Hypervisor:
                 self.sim, f"{self.hyperconnect.name}.hypervisor.recovery",
                 self)
         return self.recovery
+
+    # ------------------------------------------------------------------
+    # live grant revocation (tenant churn)
+    # ------------------------------------------------------------------
+
+    def enable_revocation(self) -> RevocationController:
+        """Register the revocation state machine on the simulator.
+
+        Idempotent: a second call returns the existing controller.
+        """
+        if self.revocation is None:
+            self.revocation = RevocationController(
+                self.sim,
+                f"{self.hyperconnect.name}.hypervisor.revocation", self)
+        return self.revocation
+
+    def revoke_memory(self, domain_name: str, region: MemoryRegion,
+                      regrant_to: Optional[str] = None,
+                      at: Optional[int] = None,
+                      on_commit: Optional[Callable] = None
+                      ) -> RevocationOrder:
+        """Revoke a grant while the domain may be mid-burst.
+
+        The returned order runs the quiesce -> drain -> retarget ->
+        coalesce (-> re-grant) state machine on the simulator clock:
+
+        1. **quiesce** (``at``, default now): every port of the victim
+           domain enters watchdog-style containment via
+           ``begin_revocation`` — decoupled from the shared path, with
+           in-flight beats completed as synthesized ``DECERR``.
+        2. **drain**: the controller polls the supervisors' ``drained``
+           predicate; healthy neighbours keep running throughout.
+        3. **commit**: stage-2 window unmapped, access-control grant
+           revoked (audited), allocator blocks coalesced, the physical
+           range scrubbed, region filters retargeted (epoch bumped).
+           Victim ports recouple if the domain still holds other
+           grants; a grantless domain's ports stay decoupled —
+           re-coupling them with a cleared (= disabled) region filter
+           would leave the port unfiltered.
+        4. **re-grant** (optional): the same physical range is adopted
+           by ``regrant_to``, then ``on_commit(cycle, order)`` fires.
+        """
+        domain = self.domain(domain_name)
+        if region not in domain.regions:
+            raise ConfigurationError(
+                f"domain {domain_name!r} holds no grant at "
+                f"0x{region.base:x}")
+        if regrant_to is not None and self.domain(regrant_to) is domain:
+            raise ConfigurationError(
+                "cannot re-grant a region to the domain it is being "
+                "revoked from")
+        start = self.sim.now if at is None else at
+        if start < self.sim.now:
+            raise ConfigurationError(
+                f"revocation start cycle {start} is in the past "
+                f"(now = {self.sim.now})")
+        controller = self.enable_revocation()
+        return controller.schedule(domain_name, region.base, region.size,
+                                   start, regrant_to=regrant_to,
+                                   on_commit=on_commit)
+
+    def quiesce_for_revocation(self, order: RevocationOrder,
+                               cycle: int) -> None:
+        """Step 1 of a revocation: contain every victim port."""
+        domain = self.domain(order.domain)
+        order.ports = list(domain.ports)
+        for port in order.ports:
+            self.hyperconnect.supervisors[port].begin_revocation(cycle)
+            # bring the register view in line with the gate state
+            self.driver.decouple(port)
+        self.sim.events.publish(GrantRevocationEvent(
+            cycle=cycle, source="hypervisor", domain=order.domain,
+            kind="quiesce", base=order.base, size=order.size,
+            beneficiary=order.regrant_to or ""))
+
+    def commit_revocation(self, order: RevocationOrder,
+                          cycle: int) -> MemoryRegion:
+        """Steps 3-4 of a revocation (called once the drain completes).
+
+        By the time this runs every victim port is ``drained``: nothing
+        is outstanding downstream, owed upstream, or queued in the
+        eFIFO, so no beat translated through the old window can still be
+        in flight anywhere in the fabric.
+        """
+        domain = self.domain(order.domain)
+        region = next((r for r in domain.regions
+                       if r.base == order.base and r.size == order.size),
+                      None)
+        if region is None:
+            raise ConfigurationError(
+                f"revocation #{order.order_id}: domain "
+                f"{order.domain!r} no longer holds 0x{order.base:x}")
+        table = self.stage2(domain.name)
+        window = table.window_for_host(region.base)
+        if window is not None:
+            table.unmap(window.guest_base)
+        domain.regions.remove(region)
+        self.access.revoke(domain, region, cycle=cycle)
+        self._release_backing(domain.name, region)
+        if self.store is not None:
+            # the next grantee must never observe the victim's data
+            self.store.scrub(region.base, region.size)
+        if domain.ports:
+            self._apply_region_filters(domain)
+        for port in order.ports:
+            supervisor = self.hyperconnect.supervisors[port]
+            if domain.regions:
+                # the domain still holds grants: the retargeted filter
+                # confines the port, so it can return to service
+                supervisor.clear_fault()
+                self.driver.couple(port)
+                self.quarantined.discard(port)
+            else:
+                # grantless domain: a cleared filter means "unfiltered",
+                # so the port must stay decoupled (retired)
+                self.quarantined.add(port)
+        self.sim.events.publish(GrantRevocationEvent(
+            cycle=cycle, source="hypervisor", domain=order.domain,
+            kind="commit", base=order.base, size=order.size,
+            beneficiary=order.regrant_to or ""))
+        if order.regrant_to is not None:
+            self.adopt_region(order.regrant_to, region.base, region.size)
+            self.sim.events.publish(GrantRevocationEvent(
+                cycle=cycle, source="hypervisor", domain=order.domain,
+                kind="regrant", base=order.base, size=order.size,
+                beneficiary=order.regrant_to))
+        return region
 
     def quarantine(self, port: int) -> None:
         """Take a faulted port out of service (keeps it decoupled).

@@ -23,8 +23,8 @@ still wakes up exactly when a retry is due.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
 
 from ..sim.component import Component
 from ..sim.errors import ConfigurationError
@@ -153,4 +153,122 @@ class FaultRecoveryAgent(Component):
     @property
     def pending(self) -> Dict[int, int]:
         """Scheduled attempts (port -> due cycle), for inspection."""
+        return dict(self._due)
+
+
+@dataclass
+class RevocationOrder:
+    """One scheduled grant revocation, tracked through its lifecycle.
+
+    ``state`` advances ``scheduled`` -> ``draining`` -> ``committed``.
+    ``regrant_to`` names the beneficiary domain that receives the same
+    physical range at commit (``None`` = revoke only).  ``on_commit`` is
+    invoked as ``on_commit(cycle, order)`` right after the commit (and
+    any re-grant) completes — test harnesses use it to launch the
+    beneficiary's traffic onto the freshly re-granted range.
+    """
+
+    order_id: int
+    domain: str
+    base: int
+    size: int
+    start_cycle: int
+    regrant_to: Optional[str] = None
+    on_commit: Optional[Callable[[int, "RevocationOrder"], None]] = None
+    state: str = "scheduled"
+    quiesce_cycle: Optional[int] = None
+    commit_cycle: Optional[int] = None
+    #: victim ports captured at quiesce time (the domain's port set may
+    #: legitimately change after the commit)
+    ports: List[int] = field(default_factory=list)
+
+
+class RevocationController(Component):
+    """Clocked driver of the revocation state machine.
+
+    Reuses the watchdog containment ladder: at ``start_cycle`` every
+    port of the victim domain enters containment via
+    ``TransactionSupervisor.begin_revocation`` (decouple + orphan
+    completion with synthesized ``DECERR``), then the controller polls
+    the supervisors' ``drained`` predicate each cycle — exactly like
+    :class:`FaultRecoveryAgent` polls before a recouple — and hands the
+    drained domain to ``Hypervisor.commit_revocation`` (stage-2 window
+    teardown, filter retarget, buddy coalesce, scrub, optional
+    re-grant).  Pure timer component on the serial hub: deadlines are
+    exposed through ``next_event_cycle`` so the fast and parallel
+    kernels wake exactly when a transition is due.
+    """
+
+    def __init__(self, sim, name: str, hypervisor) -> None:
+        super().__init__(sim, name)
+        self.hypervisor = hypervisor
+        self._orders: List[RevocationOrder] = []
+        #: order_id -> absolute cycle of the next state-machine step
+        self._due: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def schedule(self, domain_name: str, base: int, size: int,
+                 start_cycle: int, regrant_to: Optional[str] = None,
+                 on_commit: Optional[Callable] = None) -> RevocationOrder:
+        """Queue a revocation to begin at ``start_cycle``."""
+        for existing in self._orders:
+            if (existing.domain == domain_name
+                    and existing.state != "committed"):
+                raise ConfigurationError(
+                    f"domain {domain_name!r} already has revocation "
+                    f"#{existing.order_id} in flight")
+        order = RevocationOrder(len(self._orders), domain_name, base,
+                                size, start_cycle, regrant_to, on_commit)
+        self._orders.append(order)
+        self._due[order.order_id] = start_cycle
+        self.wake()
+        self.sim.wake()
+        return order
+
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        if not self._due:
+            return
+        for order_id, due in sorted(self._due.items()):
+            if cycle < due:
+                continue
+            order = self._orders[order_id]
+            if order.state == "scheduled":
+                self.hypervisor.quiesce_for_revocation(order, cycle)
+                order.state = "draining"
+                order.quiesce_cycle = cycle
+            if order.state == "draining":
+                supervisors = self.hypervisor.hyperconnect.supervisors
+                if all(supervisors[p].drained for p in order.ports):
+                    del self._due[order_id]
+                    order.state = "committed"
+                    order.commit_cycle = cycle
+                    self.hypervisor.commit_revocation(order, cycle)
+                    if order.on_commit is not None:
+                        order.on_commit(cycle, order)
+                else:
+                    # orphans still draining; poll again next cycle
+                    # (same pattern as FaultRecoveryAgent's drained wait)
+                    self._due[order_id] = cycle + 1
+
+    def is_quiescent(self, cycle: int) -> bool:
+        """Pure timer component: acts only when a step is due."""
+        return not self._due or cycle < min(self._due.values())
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest pending revocation step."""
+        return min(self._due.values()) if self._due else None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def orders(self) -> List[RevocationOrder]:
+        """All orders ever scheduled (committed ones included)."""
+        return list(self._orders)
+
+    @property
+    def pending(self) -> Dict[int, int]:
+        """Uncommitted orders (order_id -> next step cycle)."""
         return dict(self._due)

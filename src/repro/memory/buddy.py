@@ -95,6 +95,85 @@ class BuddyAllocator:
         self.allocations += 1
         return address
 
+    def reserve(self, base: int, size: int) -> List[int]:
+        """Claim the exact range ``[base, base + size)`` from the pool.
+
+        Used for pinned placements (``adopt_region``-style grants and
+        same-range re-grants after a revocation) where the caller — not
+        the allocator — chose the address.  The range is decomposed into
+        maximal naturally-aligned power-of-two blocks, each of which
+        becomes an active grant; returns the block addresses in
+        ascending order.  Freeing every returned address coalesces the
+        range back exactly as :meth:`free` would.
+
+        Raises :class:`AllocationError` (leaving the pool untouched) if
+        the range is misaligned, out of bounds, or any part of it is
+        already granted.
+        """
+        if size <= 0:
+            raise AllocationError("reservation size must be positive")
+        if base % self.min_block or size % self.min_block:
+            raise AllocationError(
+                f"reservation 0x{base:x}+0x{size:x} is not a multiple of "
+                f"min_block 0x{self.min_block:x}")
+        if base < self.base or base + size > self.base + self.size:
+            raise AllocationError(
+                f"reservation 0x{base:x}+0x{size:x} outside pool "
+                f"[0x{self.base:x}, 0x{self.base + self.size:x})")
+        blocks: List[Tuple[int, int]] = []
+        addr, remaining = base, size
+        while remaining:
+            offset = addr - self.base
+            align = offset & -offset if offset else self.size
+            block = min(align, 1 << (remaining.bit_length() - 1))
+            blocks.append((addr, block))
+            addr += block
+            remaining -= block
+        claimed: List[int] = []
+        try:
+            for addr, block in blocks:
+                self._claim(addr, block)
+                claimed.append(addr)
+        except AllocationError:
+            for addr in claimed:
+                self.free(addr)
+            # rollback is not a caller-visible alloc/free pair
+            self.frees -= len(claimed)
+            self.allocations -= len(claimed)
+            raise
+        return claimed
+
+    def _claim(self, address: int, block: int) -> None:
+        """Split the free pool to grant exactly ``[address, addr+block)``."""
+        holder = None
+        for cand_size in sorted(self._free):
+            for cand in self._free[cand_size]:
+                if cand <= address and address + block <= cand + cand_size:
+                    holder = (cand, cand_size)
+                    break
+            if holder:
+                break
+        if holder is None:
+            raise AllocationError(
+                f"range 0x{address:x}+0x{block:x} is not free")
+        start, size = holder
+        self._free[size].remove(start)
+        while size > block:
+            half = size >> 1
+            if address >= start + half:
+                self._free.setdefault(half, []).append(start)
+                start += half
+            else:
+                self._free.setdefault(half, []).append(start + half)
+            self._free[half].sort()
+            size = half
+        self._allocated[start] = block
+        self.allocations += 1
+
+    def is_granted(self, address: int) -> bool:
+        """True when ``address`` is the base of an active grant."""
+        return address in self._allocated
+
     def free(self, address: int) -> None:
         """Release a grant and coalesce with free buddies."""
         block = self._allocated.pop(address, None)

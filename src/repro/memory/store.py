@@ -105,6 +105,32 @@ class MemoryStore:
             self.write(address + offset, pattern[:chunk])
             offset += chunk
 
+    def scrub(self, address: int, count: int) -> None:
+        """Zero a range, dropping fully-covered pages from the sparse map.
+
+        The hypervisor scrubs a physical range when a grant is revoked so
+        the next grantee never observes the previous tenant's data.
+        Whole pages are simply deallocated (unwritten bytes read as
+        zero), keeping the sparse footprint bounded under tenant churn;
+        partial pages at the edges are zero-filled in place.
+        """
+        self._check_range(address, count)
+        end = address + count
+        first_full = -(-address // _PAGE_SIZE)  # ceil
+        last_full = end // _PAGE_SIZE           # exclusive
+        if first_full >= last_full:
+            # range never spans a full page: zero-fill in place
+            if count:
+                self.write(address, bytes(count))
+            return
+        for page_index in range(first_full, last_full):
+            self._pages.pop(page_index, None)
+        if address < first_full * _PAGE_SIZE:
+            self.write(address, bytes(first_full * _PAGE_SIZE - address))
+        if end > last_full * _PAGE_SIZE:
+            self.write(last_full * _PAGE_SIZE,
+                       bytes(end - last_full * _PAGE_SIZE))
+
     @property
     def allocated_bytes(self) -> int:
         """Host bytes actually allocated (sparse footprint)."""

@@ -107,6 +107,19 @@ class Stage2Table:
         window = self._windows[index]
         return window if address < window.guest_end else None
 
+    def window_for_host(self, host_base: int) -> Optional[Stage2Window]:
+        """The window whose *host* range starts at ``host_base``.
+
+        Grant teardown works in physical terms (the hypervisor revokes a
+        ``MemoryRegion``, i.e. a host range), so it needs the reverse
+        lookup; windows are keyed by guest base, so this is a linear
+        scan over the (small, per-domain) window list.
+        """
+        for window in self._windows:
+            if window.host_base == host_base:
+                return window
+        return None
+
     def translate(self, address: int, count: int = 1) -> int:
         """Guest -> host for ``count`` contiguous bytes.
 

@@ -15,7 +15,8 @@ from .errors import (
     ReproError,
     SimulationError,
 )
-from .events import EventBus, PortFaultEvent, PortRecoveryEvent
+from .events import (EventBus, GrantRevocationEvent, PortFaultEvent,
+                     PortRecoveryEvent)
 from .kernel import Simulator
 from .parallel import ParallelEngine, measured_backend
 from .partition import ProcessShardInfo, ShardPlan, Stage, build_plan
@@ -39,6 +40,7 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "EventBus",
+    "GrantRevocationEvent",
     "PortFaultEvent",
     "PortRecoveryEvent",
     "Simulator",

@@ -75,6 +75,34 @@ class PortRecoveryEvent:
                 "kind": self.kind, "attempt": self.attempt}
 
 
+@dataclass(frozen=True)
+class GrantRevocationEvent:
+    """A hypervisor-initiated memory-grant transition on a tenant port.
+
+    Distinct from :class:`PortFaultEvent` on purpose: a revocation is a
+    planned state transition, and recovery agents subscribed to fault
+    events must not auto-retry it.  ``kind`` is one of ``"quiesce"``
+    (victim ports decoupled, drain started), ``"commit"`` (window torn
+    down, filter retargeted, block coalesced) or ``"regrant"`` (the same
+    physical range handed to the beneficiary domain).
+    """
+
+    cycle: int
+    source: str
+    domain: str
+    kind: str
+    base: int
+    size: int
+    beneficiary: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (stable key order)."""
+        return {"event": "grant_revocation", "cycle": self.cycle,
+                "source": self.source, "domain": self.domain,
+                "kind": self.kind, "base": self.base, "size": self.size,
+                "beneficiary": self.beneficiary}
+
+
 class EventBus:
     """Synchronous publish/subscribe hub owned by the simulator.
 

@@ -8,6 +8,7 @@ run on the collected :class:`RunResult`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -34,6 +35,9 @@ RECOVERY_POLICY = RecoveryPolicy(max_retries=2, backoff_cycles=256,
                                  backoff_factor=2)
 #: copy jobs write this far above their read address
 COPY_DEST_OFFSET = 0x80_0000
+#: bytes the beneficiary writes (then reads back) onto a re-granted
+#: range right after a revocation commits
+CHURN_WRITE_BYTES = 512
 #: reduced-latency timing for the OOO family (row model armed so the
 #: controller actually reorders)
 OOO_TIMING = DramTiming(read_latency=12, write_latency=8, resp_latency=2,
@@ -95,6 +99,10 @@ class RunResult:
     events: Tuple[dict, ...] = ()
     #: per-plan-index latest job-completion cycle (None = none finished)
     done_cycles: Tuple[Optional[int], ...] = ()
+    #: per-churn-op end-state snapshots (pure primitives, in scenario
+    #: op order; empty unless the scenario scripts churn) — the
+    #: stale-window oracle's raw material
+    churn_probes: Tuple[dict, ...] = ()
 
 
 def _make_memory(sim: Simulator, scenario: Scenario, link: AxiLink,
@@ -183,6 +191,50 @@ def _arm_tenants(hypervisor: Hypervisor, scenario: Scenario,
         domain = hypervisor.create_domain(f"tenant{st.plan_index}")
         domain.ports.append(st.port_index)
         hypervisor.adopt_region(domain.name, base, size)
+
+
+def churn_pattern(seed: int, nbytes: int) -> bytes:
+    """Deterministic payload for churn writes (shared with the oracle).
+
+    Payloads only carry data — the DRAM model's timing is
+    payload-independent — so adding them never perturbs the cycle
+    schedule; they exist so the stale-window check can prove which
+    tenant's bytes actually landed in the contested range.
+    """
+    return bytes((seed * 37 + i * 131 + 11) & 0xFF
+                 for i in range(nbytes))
+
+
+def _arm_churn(hypervisor: Hypervisor, scenario: Scenario,
+               stations: List[Station]) -> None:
+    """Schedule the scenario's scripted revocations on the controller.
+
+    Each op revokes the victim tenant's grant at its cycle; on commit
+    the beneficiary (when any) immediately writes a known pattern into
+    the re-granted range and reads it back, exercising the full
+    revoke -> coalesce -> re-grant -> reuse path inside one run.
+    """
+    hypervisor.enable_revocation()
+    for cycle, victim, beneficiary in scenario.churn:
+        base, size = scenario.grants[victim]
+        region = next(r for r in hypervisor.domain(f"tenant{victim}").regions
+                      if r.base == base)
+        regrant_to = f"tenant{beneficiary}" if beneficiary >= 0 else None
+        beneficiary_station = (stations[beneficiary]
+                               if beneficiary >= 0 else None)
+
+        def on_commit(commit_cycle, order, st=beneficiary_station,
+                      base=base, size=size, beneficiary=beneficiary):
+            if st is None:
+                return
+            nbytes = min(CHURN_WRITE_BYTES, size)
+            st.jobs.append(st.engine.enqueue_write(
+                base, nbytes, data=churn_pattern(beneficiary, nbytes)))
+            st.jobs.append(st.engine.enqueue_read(base, nbytes))
+
+        hypervisor.revoke_memory(f"tenant{victim}", region,
+                                 regrant_to=regrant_to, at=cycle,
+                                 on_commit=on_commit)
 
 
 def build_system(scenario: Scenario, fast: bool,
@@ -279,6 +331,8 @@ def build_system(scenario: Scenario, fast: bool,
         hypervisors.append(hypervisor)
     if scenario.is_tenanted:
         _arm_tenants(hypervisors[0], scenario, stations, store)
+        if scenario.churn is not None:
+            _arm_churn(hypervisors[0], scenario, stations)
 
     for index, plan in enumerate(plans):
         st = stations[index]
@@ -288,7 +342,14 @@ def build_system(scenario: Scenario, fast: bool,
             if kind == "read":
                 st.jobs.append(st.engine.enqueue_read(address, nbytes))
             elif kind == "write":
-                st.jobs.append(st.engine.enqueue_write(address, nbytes))
+                # churn runs carry payload-bearing healthy writes so the
+                # stale-window oracle can inspect what landed in memory
+                # (payloads are timing-neutral; see churn_pattern)
+                data = None
+                if scenario.churn is not None and not plan.is_rogue:
+                    data = churn_pattern(100 + index, nbytes)
+                st.jobs.append(st.engine.enqueue_write(address, nbytes,
+                                                       data=data))
             elif kind == "copy":
                 st.jobs.append(st.engine.enqueue_copy(
                     address, address + COPY_DEST_OFFSET, nbytes))
@@ -310,6 +371,45 @@ def _engine_observables(station: Station) -> dict:
         "error_responses": engine.error_responses,
         "outstanding": engine.outstanding,
         "hung": bool(getattr(engine, "is_hung", False)),
+    }
+
+
+def _churn_probe(system: System, op: Tuple[int, int, int]) -> dict:
+    """End-state snapshot of one churn op (pure primitives only).
+
+    Folded into the fingerprint for churn scenarios, so the equivalence
+    oracle forces the revocation state machine — not just the traffic —
+    to land bit-identically on every kernel path.
+    """
+    op_cycle, victim, beneficiary = op
+    base, size = system.scenario.grants[victim]
+    hypervisor = system.hypervisors[0]
+    victim_station = system.stations[victim]
+    supervisor = victim_station.supervisor
+    stats = supervisor.fault_stats
+    victim_table = hypervisor.stage2(f"tenant{victim}")
+    beneficiary_window = False
+    if beneficiary >= 0:
+        beneficiary_window = (hypervisor.stage2(f"tenant{beneficiary}")
+                              .window_for_host(base) is not None)
+    return {
+        "op_cycle": op_cycle,
+        "victim": victim,
+        "beneficiary": beneficiary,
+        "base": base,
+        "size": size,
+        "victim_revocations": supervisor.revocations,
+        "victim_outstanding": (supervisor.outstanding_reads
+                               + supervisor.outstanding_writes),
+        "victim_coupled": bool(
+            hypervisor.driver.is_coupled(victim_station.port_index)),
+        "victim_window": victim_table.window_for_host(base) is not None,
+        "victim_regions": len(hypervisor.domain(f"tenant{victim}").regions),
+        "victim_synth_beats": stats.synth_r_beats + stats.synth_b_beats,
+        "epoch": hypervisor.driver.region_epoch(victim_station.port_index),
+        "beneficiary_window": beneficiary_window,
+        "store_digest": hashlib.sha256(
+            system.store.read(base, size)).hexdigest(),
     }
 
 
@@ -352,10 +452,19 @@ def run_system(system: System) -> RunResult:
               for st in system.stations),
         sim.now,
     )
+    churn_probes: Tuple[dict, ...] = ()
+    if scenario.churn is not None:
+        churn_probes = tuple(_churn_probe(system, op)
+                             for op in scenario.churn)
+        # churn-free scenarios keep their historic 4-element fingerprint
+        # (corpus and golden campaign digests stay pinned)
+        fingerprint = fingerprint + (
+            tuple(tuple(sorted(p.items())) for p in churn_probes),)
     return RunResult(fingerprint=fingerprint, engines=engines,
                      violations=violations, trips=trips,
                      healthy_done=healthy_done, now=sim.now,
-                     events=events, done_cycles=tuple(done_cycles))
+                     events=events, done_cycles=tuple(done_cycles),
+                     churn_probes=churn_probes)
 
 
 def run_scenario(scenario: Scenario, fast: bool,

@@ -21,6 +21,13 @@ containment bound:
    bit-identical to the fault-free baseline and its completion delay
    respects the serialized multi-fault containment bound.  A no-op on
    untenanted scenarios, so legacy campaign digests are unaffected.
+   On scenarios that script live grant churn the family additionally
+   runs the **stale-window** oracle (:func:`check_stale_window`)
+   against a churn-free twin: after a revocation commits, no beat may
+   translate through the torn-down stage-2 window — the evicted tenant
+   drains with ``DECERR``, the re-granted range carries exactly the
+   beneficiary's bytes over scrubbed zeros, and uninvolved tenants stay
+   bit-identical to the twin within the analytic churn delay bound.
 
 :func:`check_scenario` composes all of them; on failure it dumps the
 falsifying scenario as JSON (for CI artifact upload and corpus
@@ -30,12 +37,13 @@ promotion) and raises :class:`OracleViolation`.
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from hashlib import sha256
 from pathlib import Path
 from typing import Dict, Optional, Set
 
 from ..analysis import ContainmentBound
-from .harness import RunResult, run_scenario
+from .harness import CHURN_WRITE_BYTES, RunResult, churn_pattern, run_scenario
 from .scenario import Scenario, canonical_json
 
 #: where falsifying examples are written (CI uploads this directory)
@@ -89,6 +97,7 @@ def check_liveness(scenario: Scenario, result: RunResult) -> None:
     deliberately decoupled ports (share 0.0) have no completion
     obligation and are skipped.
     """
+    churn_victims = set(scenario.churn_victims)
     for index, (info, trip_count) in enumerate(zip(result.engines,
                                                    result.trips)):
         plan = scenario.ports[index]
@@ -100,6 +109,11 @@ def check_liveness(scenario: Scenario, result: RunResult) -> None:
         if plan.is_rogue and scenario.is_tenanted:
             # a tenant retired by the recovery policy (giveup) may end
             # the run owed work; the isolation oracle governs it
+            continue
+        if index in churn_victims:
+            # an evicted tenant legitimately ends the run with DECERR'd
+            # jobs (and, once retired, unissued ones); the stale-window
+            # oracle pins down exactly what it must look like instead
             continue
         if info["hung"]:
             continue
@@ -280,9 +294,16 @@ def check_isolation(scenario: Scenario, result: RunResult,
     bound = isolation_bound_for(scenario)
     limit = (bound.multi_fault_delay_bound(len(rogues))
              if bound is not None else None)
+    churn_involved = set(scenario.churn_involved)
     for index, (info, base) in enumerate(zip(result.engines,
                                              baseline.engines)):
         if index in rogues:
+            continue
+        if index in churn_involved:
+            # the baseline revokes on the same schedule, but a rogue's
+            # containment can legitimately shift *when* the victim's
+            # drain lands (synth beat counts) and when the beneficiary's
+            # post-commit jobs run; the stale-window oracle governs both
             continue
         for key in ("bytes_read", "bytes_written", "jobs_completed",
                     "error_responses"):
@@ -305,6 +326,182 @@ def check_isolation(scenario: Scenario, result: RunResult,
                 f"healthy tenant {info['name']} finished {delta} cycles "
                 f"after its fault-free baseline; serialized containment "
                 f"bound for {len(rogues)} fault(s) is {limit}", scenario)
+
+
+def churn_delay_bound_for(scenario: Scenario) -> int:
+    """Analytic bystander-delay bound for scripted grant churn.
+
+    Each revocation reuses the containment ladder with an immediate
+    (1-cycle detection) quiesce, so the serialized multi-fault bound
+    applies with ``timeout_cycles=1``; on top of that every re-granting
+    op injects the beneficiary's post-commit write + readback (each at
+    most ``CHURN_WRITE_BYTES`` = 32 beats on the 16-byte bus), charged
+    as up to 64 beats of extra round-robin interference per port.
+    """
+    from ..platforms import ZCU102
+    n_ops = len(scenario.churn or ())
+    bound = ContainmentBound(
+        n_ports=len(scenario.ports), nominal_burst=16,
+        memory=ZCU102.dram, timeout_cycles=1, rogue_outstanding=8,
+        period=scenario.period if scenario.equal_shares else None)
+    return (bound.multi_fault_delay_bound(n_ops)
+            + n_ops * 64 * len(scenario.ports))
+
+
+def check_stale_window(scenario: Scenario, result: RunResult,
+                       churnfree: RunResult) -> None:
+    """Stale-window oracle (isolation family, churn scenarios only).
+
+    For every scripted revocation, against the churn-free twin
+    (``replace(scenario, churn=None)``):
+
+    * the victim's supervisor actually entered revocation containment,
+      drained to zero outstanding beats, and — when the op left the
+      domain grantless — stayed decoupled (retired), else recoupled;
+    * the victim's stage-2 window over the revoked range is gone and
+      the port's region-filter epoch recorded the retarget, so no beat
+      can translate through the old window after the commit;
+    * a victim that was provably mid-burst (its churn-free twin
+      finishes well after the op cycle) drained via synthesized beats,
+      and synthesized beats surfaced as ``DECERR`` at its engine;
+    * the contested physical range ends the run carrying exactly the
+      beneficiary's pattern over scrubbed zeros (or all zeros on a
+      revoke-only op) — proof the old tenant's bytes neither survived
+      nor reappeared;
+    * the beneficiary received, completed, and error-free'd its
+      post-commit write + readback through its own new window;
+    * every uninvolved healthy tenant is bit-identical to the
+      churn-free twin, finishing within the analytic churn delay
+      bound.
+    """
+    if scenario.churn is None:
+        return
+    for probe in result.churn_probes:
+        victim = probe["victim"]
+        name = result.engines[victim]["name"]
+        where = (f"range [{probe['base']:#x}+{probe['size']:#x}] "
+                 f"revoked from {name} at cycle {probe['op_cycle']}")
+        if probe["victim_revocations"] < 1:
+            raise OracleViolation(
+                "stale-window",
+                f"{where}: the supervisor never entered revocation "
+                "containment", scenario)
+        if probe["victim_window"]:
+            raise OracleViolation(
+                "stale-window",
+                f"{where}: stale stage-2 window survived the commit",
+                scenario)
+        if probe["victim_outstanding"] != 0:
+            raise OracleViolation(
+                "stale-window",
+                f"{where}: victim still owed "
+                f"{probe['victim_outstanding']} beats after the drain",
+                scenario)
+        if probe["victim_regions"] == 0 and probe["victim_coupled"]:
+            raise OracleViolation(
+                "stale-window",
+                f"{where}: grantless evicted tenant left coupled to "
+                "the bus", scenario)
+        if probe["victim_regions"] > 0 and not probe["victim_coupled"]:
+            raise OracleViolation(
+                "stale-window",
+                f"{where}: victim kept {probe['victim_regions']} "
+                "region(s) but was never recoupled", scenario)
+        if probe["epoch"] < 2:
+            raise OracleViolation(
+                "stale-window",
+                f"{where}: region-filter epoch register never recorded "
+                f"the retarget (epoch={probe['epoch']})", scenario)
+        twin_done = (churnfree.done_cycles[victim]
+                     if churnfree.done_cycles else None)
+        if (twin_done is not None
+                and twin_done > probe["op_cycle"] + 16
+                and probe["victim_synth_beats"] == 0):
+            raise OracleViolation(
+                "stale-window",
+                f"{where}: victim was mid-burst (churn-free twin "
+                f"finishes at cycle {twin_done}) yet the drain "
+                "synthesized no beats", scenario)
+        if (probe["victim_synth_beats"] > 0
+                and result.engines[victim]["error_responses"] == 0):
+            raise OracleViolation(
+                "stale-window",
+                f"{where}: drain synthesized "
+                f"{probe['victim_synth_beats']} beats but the evicted "
+                "tenant never saw DECERR", scenario)
+        beneficiary = probe["beneficiary"]
+        size = probe["size"]
+        if beneficiary < 0:
+            expected = sha256(bytes(size)).hexdigest()
+            label = "scrubbed zeros"
+        else:
+            info = result.engines[beneficiary]
+            if not probe["beneficiary_window"]:
+                raise OracleViolation(
+                    "stale-window",
+                    f"{where}: re-granted range never appeared in "
+                    f"beneficiary {info['name']}'s stage-2 table",
+                    scenario)
+            planned = len(scenario.ports[beneficiary].jobs)
+            if info["jobs_enqueued"] != planned + 2:
+                raise OracleViolation(
+                    "stale-window",
+                    f"{where}: beneficiary {info['name']} never "
+                    "received its post-commit write + readback "
+                    f"({info['jobs_enqueued']} jobs, expected "
+                    f"{planned + 2})", scenario)
+            if info["jobs_completed"] != info["jobs_enqueued"]:
+                raise OracleViolation(
+                    "stale-window",
+                    f"{where}: beneficiary {info['name']} completed "
+                    f"{info['jobs_completed']}/{info['jobs_enqueued']} "
+                    "jobs — re-granted range never reused within the "
+                    "horizon", scenario)
+            if info["error_responses"] != 0:
+                raise OracleViolation(
+                    "stale-window",
+                    f"{where}: beneficiary {info['name']} saw "
+                    f"{info['error_responses']} error responses on the "
+                    "re-granted range", scenario)
+            nbytes = min(CHURN_WRITE_BYTES, size)
+            expected = sha256(churn_pattern(beneficiary, nbytes)
+                              + bytes(size - nbytes)).hexdigest()
+            label = f"{info['name']}'s pattern over scrubbed zeros"
+        if probe["store_digest"] != expected:
+            raise OracleViolation(
+                "stale-window",
+                f"{where}: contested range ends the run with digest "
+                f"{probe['store_digest'][:12]}, expected {label} "
+                f"({expected[:12]}) — a stale-window beat landed",
+                scenario)
+    limit = churn_delay_bound_for(scenario)
+    involved = set(scenario.churn_involved) | set(scenario.rogue_indices)
+    for index, (info, twin) in enumerate(zip(result.engines,
+                                             churnfree.engines)):
+        if index in involved or scenario.ports[index].is_greedy:
+            continue
+        for key in ("bytes_read", "bytes_written", "jobs_completed",
+                    "error_responses"):
+            if info[key] != twin[key]:
+                raise OracleViolation(
+                    "stale-window",
+                    f"uninvolved tenant {info['name']} {key} changed "
+                    f"under a neighbour's revocation: {info[key]} != "
+                    f"churn-free {twin[key]}", scenario)
+        if not result.done_cycles or not churnfree.done_cycles:
+            continue
+        done = result.done_cycles[index]
+        twin_done = churnfree.done_cycles[index]
+        if done is None or twin_done is None:
+            continue
+        delta = done - twin_done
+        if delta > limit:
+            raise OracleViolation(
+                "stale-window",
+                f"uninvolved tenant {info['name']} finished {delta} "
+                "cycles after its churn-free twin; analytic churn "
+                f"delay bound for {len(scenario.churn)} op(s) is "
+                f"{limit}", scenario)
 
 
 # ----------------------------------------------------------------------
@@ -407,6 +604,13 @@ def evaluate_scenario(scenario: Scenario,
         if baseline is None:
             baseline = run_scenario(scenario.baseline(), fast=False)
         check_isolation(scenario, reference, baseline)
+    if "isolation" in checks and scenario.churn is not None:
+        # the stale-window oracle's twin strips *only* the churn (the
+        # fault storm stays), unlike baseline() which keeps churn and
+        # strips faults — the two twins probe orthogonal properties
+        churnfree = run_scenario(replace(scenario, churn=None),
+                                 fast=False)
+        check_stale_window(scenario, reference, churnfree)
     return reference
 
 

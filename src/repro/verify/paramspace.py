@@ -344,9 +344,27 @@ def compile_isolation(a: dict) -> Scenario:
     scale can never false-trip them, and the horizon scales with the
     total enqueued work so the liveness oracle holds at every grid
     point.
+
+    The ``churn`` axis ("none"/"revoke"/"regrant") composes live grant
+    churn with the fault storm: the first healthy tenant becomes the
+    victim of a scripted mid-burst revocation at ``churn_cycle`` (its
+    plan is swapped for one long write so the quiesce provably lands
+    mid-burst), and "regrant" hands the range to the last healthy
+    tenant at commit.  ``"none"`` compiles byte-identically to the
+    pre-churn grid, so pinned isolation-campaign digests are
+    unaffected; churn storms additionally allow ``n_faulted`` = 0
+    (pure-churn rows with no rogue at all).
     """
     n = a.get("n_domains", 8)
-    n_faulted = max(1, min(a.get("n_faulted", 1), n - 1))  # >= 1 healthy
+    churn = a.get("churn", "none")
+    regrant = churn == "regrant"
+    if churn == "none":
+        n_faulted = max(1, min(a.get("n_faulted", 1), n - 1))  # >= 1 healthy
+    else:
+        # keep the victim, the beneficiary (regrant only), and at least
+        # one uninvolved bystander healthy
+        healthy_floor = 3 if regrant else 2
+        n_faulted = max(0, min(a.get("n_faulted", 1), n - healthy_floor))
     mix = a.get("mix", "wild")
     job_bytes = a.get("job_bytes", 512)
     rng = random.Random(a.get("seed", 0))
@@ -360,11 +378,23 @@ def compile_isolation(a: dict) -> Scenario:
         else:
             modes[index] = "wild_addr" if pos % 2 == 0 else "hung_r"
     span = _ISOLATION_SPAN
+    churn_ops: Optional[tuple] = None
+    victim = None
+    if churn != "none":
+        healthy = [i for i in range(n) if i not in modes]
+        victim = healthy[0]
+        beneficiary = healthy[-1] if regrant else -1
+        churn_ops = ((a.get("churn_cycle", 64), victim, beneficiary),)
     plans: List[PortPlan] = []
     for index in range(n):
         base = index * span
         mode = modes.get(index)
-        if mode == "wild_addr":
+        if index == victim:
+            # one long write (>= 2 KiB = 128 beats) so the victim is
+            # still streaming when the revocation quiesces its port
+            plans.append(PortPlan(
+                jobs=(("write", base, max(4 * job_bytes, 2048)),)))
+        elif mode == "wild_addr":
             target = ((index + 1) % n) * span  # the neighbour's grant
             plans.append(PortPlan(
                 jobs=(("read", target, max(job_bytes, 256)),),
@@ -384,12 +414,17 @@ def compile_isolation(a: dict) -> Scenario:
                 ("read", base, job_bytes),
                 ("write", base + span // 2, job_bytes))))
     total_beats = n * 2 * job_bytes // 16
+    horizon = a.get("horizon", 6_000 + 6 * total_beats)
+    if churn_ops is not None and "horizon" not in a:
+        # the victim's long write and the beneficiary's post-commit
+        # write + readback add work the legacy formula never counted
+        horizon += 6 * (max(4 * job_bytes, 2048) // 16) + 2_048
     return Scenario(family="flat", ports=tuple(plans),
                     grants=tuple((i * span, span) for i in range(n)),
                     equal_shares=a.get("equal_shares", False),
                     period=a.get("period", 2048),
-                    horizon=a.get("horizon", 6_000 + 6 * total_beats),
-                    settle=512)
+                    horizon=horizon,
+                    settle=512, churn=churn_ops)
 
 
 def compile_throughput(a: dict) -> Scenario:
@@ -549,6 +584,25 @@ ISOLATION_GRID = _register(GridSpec(
         "job_bytes": (256, 512),
         "equal_shares": (False, True),
         "persistent": (False, True),
+    },
+    compile=compile_isolation,
+))
+
+CHURN_GRID = _register(GridSpec(
+    name="churn",
+    description="live tenant churn: mid-burst grant revocation and "
+                "re-granting under concurrent fault storms, proven by "
+                "the stale-window isolation oracle (no beat through a "
+                "torn-down window; re-granted ranges reused in-run)",
+    axes={
+        "n_domains": (4, 8, 16),
+        "n_faulted": (0, 1, 2),
+        "mix": ("wild", "hung"),
+        "churn": ("revoke", "regrant"),
+        "churn_cycle": (32, 64, 128),
+        "seed": (3, 11),
+        "job_bytes": (256, 512),
+        "equal_shares": (False, True),
     },
     compile=compile_isolation,
 ))

@@ -158,6 +158,14 @@ class Scenario:
     #: grants, HyperConnect region filters armed, and (unlike the
     #: single-fault campaigns) any number of rogue tenants at once
     grants: Optional[Tuple[Tuple[int, int], ...]] = None
+    #: scripted live revocations ``(cycle, victim, beneficiary)`` —
+    #: at ``cycle`` the victim port's grant is revoked mid-burst
+    #: (quiesce -> drain -> retarget -> coalesce) and, when
+    #: ``beneficiary`` >= 0, immediately re-granted to that port's
+    #: domain (``-1`` = revoke only).  Requires tenant grants; victims
+    #: and beneficiaries must be distinct healthy (non-rogue,
+    #: non-greedy) tenants, at most one revocation per victim
+    churn: Optional[Tuple[Tuple[int, int, int], ...]] = None
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -205,6 +213,61 @@ class Scenario:
                     raise ValueError(
                         f"grants {i0} and {i1} overlap "
                         f"([0x{b0:x},0x{e0:x}) vs [0x{b1:x},0x{e1:x}))")
+        if self.churn is not None:
+            if self.grants is None:
+                raise ValueError("churn (live revocation) needs tenant "
+                                 "grants to revoke")
+            if not self.churn:
+                raise ValueError("churn must be None or non-empty")
+            victims = set()
+            beneficiaries = set()
+            for op_index, op in enumerate(self.churn):
+                if len(op) != 3:
+                    raise ValueError(
+                        f"churn op {op_index}: expected (cycle, victim, "
+                        f"beneficiary), got {op!r}")
+                cycle, victim, beneficiary = op
+                if not 1 <= cycle < self.horizon:
+                    raise ValueError(
+                        f"churn op {op_index}: cycle {cycle} outside "
+                        f"[1, horizon)")
+                if not 0 <= victim < len(self.ports):
+                    raise ValueError(
+                        f"churn op {op_index}: victim {victim} is not a "
+                        "port index")
+                if beneficiary != -1 and not 0 <= beneficiary < len(
+                        self.ports):
+                    raise ValueError(
+                        f"churn op {op_index}: beneficiary {beneficiary} "
+                        "must be -1 (revoke only) or a port index")
+                if beneficiary == victim:
+                    raise ValueError(
+                        f"churn op {op_index}: a port cannot be granted "
+                        "the region it is losing")
+                if victim in victims:
+                    raise ValueError(
+                        f"churn op {op_index}: one revocation per victim "
+                        "port")
+                for role, index in (("victim", victim),
+                                    ("beneficiary", beneficiary)):
+                    if index == -1:
+                        continue
+                    plan = self.ports[index]
+                    if plan.is_rogue:
+                        raise ValueError(
+                            f"churn op {op_index}: {role} {index} is a "
+                            "rogue — revoking a faulted tenant is the "
+                            "recovery ladder's job")
+                    if plan.is_greedy:
+                        raise ValueError(
+                            f"churn op {op_index}: {role} {index} is a "
+                            "greedy port (no grant-confined workload)")
+                victims.add(victim)
+                if beneficiary != -1:
+                    beneficiaries.add(beneficiary)
+            if victims & beneficiaries:
+                raise ValueError("churn: a beneficiary cannot also be a "
+                                 "victim")
         if rogues and self.memory.kind != "none":
             raise ValueError("one fault program per scenario: master "
                              "fault and memory fault are exclusive")
@@ -286,13 +349,37 @@ class Scenario:
         """True when the scenario stamps per-port tenant domains."""
         return self.grants is not None
 
+    @property
+    def churn_victims(self) -> Tuple[int, ...]:
+        """Port indices losing their grant mid-run (sorted)."""
+        if self.churn is None:
+            return ()
+        return tuple(sorted(victim for _, victim, _ in self.churn))
+
+    @property
+    def churn_beneficiaries(self) -> Tuple[int, ...]:
+        """Port indices receiving a re-granted range (sorted)."""
+        if self.churn is None:
+            return ()
+        return tuple(sorted({b for _, _, b in self.churn if b >= 0}))
+
+    @property
+    def churn_involved(self) -> Tuple[int, ...]:
+        """Victims and beneficiaries together (sorted)."""
+        return tuple(sorted(set(self.churn_victims)
+                            | set(self.churn_beneficiaries)))
+
     def baseline(self) -> "Scenario":
         """The fault-free twin used to measure interference deltas.
 
         The rogue port keeps its place in the topology but loses both
         its fault and its workload (matching how `bench_fault_campaign`
         measures healthy-port interference); a memory fault is simply
-        stripped.
+        stripped.  Scripted churn is *kept*: the twin of a churn-storm
+        scenario revokes on the same schedule, so healthy bystanders see
+        the same planned transitions and stay bit-comparable (the
+        churn-free twin used by the stale-window oracle is
+        ``replace(scenario, churn=None)`` instead).
         """
         ports = tuple(
             replace(plan, fault=MasterFault(), jobs=())
@@ -320,6 +407,11 @@ class Scenario:
             del data["grants"]
         else:
             data["grants"] = [list(grant) for grant in data["grants"]]
+        if data["churn"] is None:
+            # same omitted-when-absent contract as grants
+            del data["churn"]
+        else:
+            data["churn"] = [list(op) for op in data["churn"]]
         return data
 
     @classmethod
@@ -334,6 +426,7 @@ class Scenario:
             for plan in data["ports"])
         shares = data.get("shares")
         grants = data.get("grants")
+        churn = data.get("churn")
         return cls(
             family=data["family"],
             ports=ports,
@@ -348,6 +441,9 @@ class Scenario:
                     else tuple(float(s) for s in shares)),
             grants=(None if grants is None
                     else tuple((int(b), int(s)) for b, s in grants)),
+            churn=(None if churn is None
+                   else tuple((int(c), int(v), int(b))
+                              for c, v, b in churn)),
         )
 
     def to_json(self) -> str:

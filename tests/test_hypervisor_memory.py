@@ -18,14 +18,15 @@ from repro.hypervisor import (
     SystemIntegrator,
 )
 from repro.ipxact import accelerator_component
+from repro.masters import AxiDma
 from repro.memory import MemoryStore, TranslationFault
 from repro.platforms import ZCU102
 from repro.sim import ConfigurationError
 from repro.system import SocSystem
 
 
-def booted(n_ports=2):
-    soc = SocSystem.build(ZCU102, n_ports=n_ports, period=2048)
+def booted(n_ports=2, fast=False):
+    soc = SocSystem.build(ZCU102, n_ports=n_ports, period=2048, fast=fast)
     hypervisor = Hypervisor(soc.interconnect)
     hypervisor.create_domain("crit", Criticality.HIGH)
     hypervisor.create_domain("best", Criticality.LOW)
@@ -160,6 +161,55 @@ class TestRelease:
                                                   "size": keep.size}
 
 
+class TestReleaseMidBurst:
+    """Satellite: ``release_memory`` under live traffic is a clean error.
+
+    The synchronous release path must never yank a window out from
+    under in-flight beats — that is ``revoke_memory``'s job (quiesce,
+    drain, then retarget).  Mid-burst it must raise, change nothing,
+    and succeed normally once the port drains.
+    """
+
+    @pytest.mark.parametrize("fast", [False, True],
+                             ids=["reference", "fast"])
+    def test_mid_burst_release_raises_and_changes_nothing(self, fast):
+        soc, hypervisor = booted(fast=fast)
+        allocator = hypervisor.attach_memory(MemoryStore(size=1 << 24))
+        region = hypervisor.grant_memory("crit", 0x8000)
+        port = hypervisor.domain("crit").ports[0]
+        dma = AxiDma(soc.sim, "dma", soc.port(port))
+        dma.enqueue_write(region.base, 4096)
+        soc.sim.run(40)   # burst accepted, beats in flight
+        supervisor = soc.interconnect.supervisors[port]
+        assert not supervisor.drained
+        before = allocator.allocated_bytes
+        with pytest.raises(ConfigurationError) as err:
+            hypervisor.release_memory("crit", region)
+        assert "revoke_memory" in str(err.value)
+        # nothing was torn down
+        assert region in hypervisor.domain("crit").regions
+        assert allocator.allocated_bytes == before
+        assert hypervisor.stage2("crit").translate(region.base, 16) \
+            == region.base
+        assert soc.driver.region_filter(port) == {"base": region.base,
+                                                  "size": region.size}
+
+    @pytest.mark.parametrize("fast", [False, True],
+                             ids=["reference", "fast"])
+    def test_release_succeeds_once_the_port_drains(self, fast):
+        soc, hypervisor = booted(fast=fast)
+        allocator = hypervisor.attach_memory(MemoryStore(size=1 << 24))
+        region = hypervisor.grant_memory("crit", 0x8000)
+        port = hypervisor.domain("crit").ports[0]
+        dma = AxiDma(soc.sim, "dma", soc.port(port))
+        dma.enqueue_write(region.base, 4096)
+        soc.run_until_quiescent()
+        assert soc.interconnect.supervisors[port].drained
+        hypervisor.release_memory("crit", region)
+        assert allocator.allocated_bytes == 0
+        assert region not in hypervisor.domain("crit").regions
+
+
 class TestPreBootGrants:
     def test_grants_made_before_boot_arm_at_boot(self):
         soc = SocSystem.build(ZCU102, n_ports=2, period=2048)
@@ -203,3 +253,31 @@ class TestAuditBounds:
     def test_depth_must_be_positive(self):
         with pytest.raises(ValueError):
             AccessControl(self.WINDOW, audit_depth=0)
+
+    def test_transition_ring_records_grant_and_revoke(self):
+        control = AccessControl(self.WINDOW, audit_depth=4)
+        domain = Domain("d")
+        region = MemoryRegion(0x1000, 0x1000)
+        control.grant(domain, region, cycle=7)
+        control.revoke(domain, region, cycle=19)
+        kinds = [(t.kind, t.domain, t.base, t.size, t.cycle)
+                 for t in control.transitions]
+        assert kinds == [("grant", "d", 0x1000, 0x1000, 7),
+                         ("revoke", "d", 0x1000, 0x1000, 19)]
+        assert control.total_transitions == 2
+
+    def test_transition_ring_is_bounded_but_total_counts(self):
+        control = AccessControl(self.WINDOW, audit_depth=3)
+        domain = Domain("d")
+        region = MemoryRegion(0x1000, 0x1000)
+        for _ in range(5):
+            control.grant(domain, region)
+            control.revoke(domain, region)
+        assert len(control.transitions) == 3
+        assert control.total_transitions == 10
+
+    def test_revoke_of_ungranted_region_rejected(self):
+        control = AccessControl(self.WINDOW)
+        domain = Domain("d")
+        with pytest.raises(AccessViolation):
+            control.revoke(domain, MemoryRegion(0x1000, 0x1000))

@@ -103,6 +103,93 @@ class TestFreeAndCoalesce:
             pool.free(0x5000)
 
 
+class TestChurnLifecycle:
+    """Grant/release/re-grant cycles as driven by live tenant churn."""
+
+    def test_repeated_grant_release_regrant_at_same_size(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        first = pool.alloc(16384)
+        for _ in range(50):
+            pool.free(first)
+            again = pool.alloc(16384)
+            # lowest-address-first policy hands the same block back
+            assert again == first
+        stats = pool.stats()
+        assert stats["allocations"] == 51
+        assert stats["frees"] == 50
+        assert pool.free_bytes == (1 << 20) - 16384
+
+    def test_fragmentation_then_full_coalescence(self):
+        pool = BuddyAllocator(0, 1 << 18)
+        grants = [pool.alloc(4096) for _ in range(64)]
+        # free every other page: maximal fragmentation, no coalescing
+        for address in grants[::2]:
+            pool.free(address)
+        assert pool.largest_free_block == 4096
+        assert pool.free_bytes == 32 * 4096
+        for address in grants[1::2]:
+            pool.free(address)
+        assert pool.largest_free_block == 1 << 18
+        assert pool.free_bytes == 1 << 18
+        # the healed pool serves the largest possible grant again
+        assert pool.alloc(1 << 18) == 0
+
+    def test_double_release_rejected_after_regrant_cycles(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        address = pool.alloc(8192)
+        pool.free(address)
+        pool.alloc(8192)
+        pool.free(address)
+        with pytest.raises(AllocationError):
+            pool.free(address)
+
+
+class TestReserve:
+    """Pinned exact-range claims (adopt_region / re-grant backing)."""
+
+    def test_reserve_claims_the_exact_range(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        blocks = pool.reserve(0x8000, 0x8000)
+        assert blocks == [0x8000]
+        assert pool.is_granted(0x8000)
+        # a fresh alloc cannot land inside the reserved range
+        assert pool.alloc(0x8000) == 0
+
+    def test_reserve_decomposes_unaligned_spans(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        # [0x1000, 0x4000): no single naturally-aligned block covers it
+        blocks = pool.reserve(0x1000, 0x3000)
+        assert blocks == [0x1000, 0x2000]
+        assert pool.grant_size(0x1000) == 0x1000
+        assert pool.grant_size(0x2000) == 0x2000
+
+    def test_reserve_conflict_rolls_back_cleanly(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        held = pool.alloc(4096)
+        assert held == 0
+        before = pool.stats()
+        with pytest.raises(AllocationError):
+            pool.reserve(0, 0x3000)   # first page already granted
+        assert pool.stats() == before
+        assert pool.free_bytes == (1 << 20) - 4096
+
+    def test_reserve_release_reserve_cycle(self):
+        pool = BuddyAllocator(0, 1 << 20)
+        for _ in range(10):
+            blocks = pool.reserve(0x20000, 0x20000)
+            for block in blocks:
+                pool.free(block)
+        assert pool.free_bytes == 1 << 20
+        assert pool.largest_free_block == 1 << 20
+
+    def test_reserve_out_of_pool_rejected(self):
+        pool = BuddyAllocator(0, 1 << 16)
+        with pytest.raises(AllocationError):
+            pool.reserve(1 << 16, 4096)
+        with pytest.raises(AllocationError):
+            pool.reserve((1 << 16) - 4096, 8192)
+
+
 class TestBookkeeping:
     def test_stats_track_the_lifecycle(self):
         pool = BuddyAllocator(0, 1 << 20)

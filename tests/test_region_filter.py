@@ -19,6 +19,7 @@ from repro.hyperconnect.regs import (
     REGION_PAGES_REG,
     region_register,
 )
+from repro.masters import AxiDma
 from repro.sim import Channel, ConfigurationError, Simulator
 from repro.system import SocSystem
 from repro.platforms import ZCU102
@@ -166,3 +167,64 @@ class TestDriverRegionRegisters:
         soc = self.soc()
         with pytest.raises(ConfigurationError):
             soc.driver.set_region_filter(0, -4096, 4096)
+
+
+def _reprogram_run(fast, parallel=0, parallel_backend="auto"):
+    """Build-run-reprogram-run on one kernel path; return observables.
+
+    Three filtered ports stream traffic; mid-run the driver widens
+    port 0's grant (its next job targets the newly legal range) and
+    narrows port 2's (its next job now trips the filter).  The returned
+    tuple must be bit-identical on every kernel path — the retarget is
+    part of the simulated state machine, not a test-bench side effect.
+    """
+    soc = SocSystem.build(ZCU102, n_ports=3, period=2048, fast=fast,
+                          parallel=parallel,
+                          parallel_backend=parallel_backend)
+    engines = [AxiDma(soc.sim, f"ha{i}", soc.port(i)) for i in range(3)]
+    for port in range(3):
+        soc.driver.set_region_filter(port, port * 0x8000, 0x8000)
+        engines[port].enqueue_write(port * 0x8000, 1024)
+        engines[port].enqueue_read(port * 0x8000 + 0x1000, 1024)
+    soc.sim.run(400)
+    # live retarget: port 0 widens onto [0, 0x10000), port 2 shrinks to
+    # its first page only
+    soc.driver.set_region_filter(0, 0x0, 0x10000)
+    soc.driver.set_region_filter(2, 2 * 0x8000, REGION_GRANULE)
+    engines[0].enqueue_read(0x8000 + 0x2000, 512)   # legal only now
+    engines[2].enqueue_read(2 * 0x8000 + 0x4000, 512)  # now out of grant
+    soc.sim.run(3000)
+    supervisors = soc.interconnect.supervisors
+    return (
+        tuple((e.bytes_read, e.bytes_written, len(e.jobs_completed),
+               e.error_responses, e.outstanding) for e in engines),
+        tuple(tuple(sorted(s.fault_stats.as_dict().items()))
+              for s in supervisors),
+        tuple(tuple(sorted(d.items())) for d in soc.sim.events.as_dicts()),
+        soc.sim.now,
+    )
+
+
+class TestMidRunReprogramEquivalence:
+    """Mid-run filter retargeting must agree across every kernel path."""
+
+    def test_reference_run_shape(self):
+        engines, stats, events, __ = _reprogram_run(fast=False)
+        # port 0's widened grant admits the late read error-free
+        assert engines[0][3] == 0
+        assert engines[0][2] == 3
+        # port 2's narrowed grant trips on the late read
+        faults = [dict(e) for e in events
+                  if dict(e).get("event") == "port_fault"]
+        assert any(f["port"] == 2 and f["kind"] == "region_violation"
+                   for f in faults)
+        assert not any(f["port"] != 2 for f in faults)
+
+    def test_fast_path_matches_reference(self):
+        assert _reprogram_run(fast=True) == _reprogram_run(fast=False)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_parallel_paths_match_reference(self, backend):
+        reference = _reprogram_run(fast=False)
+        assert _reprogram_run(fast=False, parallel=2,
+                              parallel_backend=backend) == reference
