@@ -5,7 +5,17 @@ the bandwidth while HA_CHaiDNN can dispose of just a little portion"; the
 HyperConnect's HC-X-Y reservation configurations (90-10, 70-30, 50-50,
 30-70, 10-90) redistribute the bandwidth, with HC-90-10 bringing CHaiDNN
 close to its isolation performance.
+
+``test_tlm_fastforward`` additionally runs the saturated-contention
+HC-50-50 row under the transaction-level fast-forward mode
+(``tlm=True``, see ``repro.sim.tlm``) against the plain fast kernel and
+asserts the >= 2x wall-clock acceptance floor; its sidecar carries the
+TLM engine's skip counters.  ``SIM_FIG5_TLM_CYCLES`` overrides its
+window for CI quick modes.
 """
+
+import os
+import time
 
 from repro.system import run_case_study
 
@@ -14,6 +24,7 @@ from conftest import publish, wall_ms
 WINDOW = 800_000
 SCALE = 1 / 64
 SHARES = [(90, 10), (70, 30), (50, 50), (30, 70), (10, 90)]
+TLM_WINDOW = int(os.environ.get("SIM_FIG5_TLM_CYCLES", str(WINDOW)))
 
 
 def _run_all():
@@ -81,3 +92,66 @@ def test_fig5_contention(benchmark):
         expected_floor = min(1.0, x / 100 * 1.2)  # memory is ~45 % of a
         # frame at this scale, so fps degrades slower than the share
         assert fps >= iso_fps * min(x / 100, expected_floor) * 0.5
+
+
+def _run_tlm_pair():
+    """HC-50-50 saturated contention: fast kernel vs TLM fast-forward."""
+    shares = {0: 0.5, 1: 0.5}
+    started = time.perf_counter()
+    fast = run_case_study("hyperconnect", shares=shares, scale=SCALE,
+                          window_cycles=TLM_WINDOW, fast=True)
+    fast_s = time.perf_counter() - started
+    started = time.perf_counter()
+    tlm = run_case_study("hyperconnect", shares=shares, scale=SCALE,
+                         window_cycles=TLM_WINDOW, tlm=True)
+    tlm_s = time.perf_counter() - started
+    return fast, tlm, fast_s, tlm_s
+
+
+def test_tlm_fastforward(benchmark):
+    fast, tlm, fast_s, tlm_s = benchmark.pedantic(_run_tlm_pair,
+                                                  rounds=1, iterations=1)
+    speedup = fast_s / tlm_s if tlm_s else float("inf")
+    stats = tlm.skip_stats or {}
+    skipped = stats.get("tlm_cycles_skipped", 0)
+    rows = [
+        f"HC-50-50 saturated contention, {TLM_WINDOW} cycles",
+        f"fast kernel    {fast_s * 1e3:>9.0f} ms   "
+        f"CHaiDNN {fast.chaidnn_fps:>6.0f} fps   "
+        f"DMA {fast.dma_rate:>6.0f} rounds/s",
+        f"tlm kernel     {tlm_s * 1e3:>9.0f} ms   "
+        f"CHaiDNN {tlm.chaidnn_fps:>6.0f} fps   "
+        f"DMA {tlm.dma_rate:>6.0f} rounds/s",
+        f"speedup {speedup:.2f}x   epochs {stats.get('tlm_epochs', 0)}   "
+        f"cycles skipped {skipped} "
+        f"({skipped / TLM_WINDOW:.0%} of the window)   "
+        f"demotions {stats.get('tlm_demotions', {})}",
+    ]
+    publish("fig5_tlm_fastforward", "\n".join(rows), metrics={
+        "wall_ms": wall_ms(benchmark),
+        "cycles_per_sec": (TLM_WINDOW / tlm_s if tlm_s else None),
+        "speedup": speedup,
+        "window_cycles": TLM_WINDOW,
+        "fast_ms": fast_s * 1e3,
+        "tlm_ms": tlm_s * 1e3,
+        "chaidnn_fps": {"fast": fast.chaidnn_fps, "tlm": tlm.chaidnn_fps},
+        "tlm_epochs": stats.get("tlm_epochs", 0),
+        "tlm_cycles_skipped": skipped,
+        "tlm_rollbacks": stats.get("tlm_rollbacks", 0),
+        "tlm_demotions": stats.get("tlm_demotions", {}),
+    })
+    benchmark.extra_info.update({"speedup": speedup,
+                                 "tlm_epochs": stats.get("tlm_epochs", 0)})
+
+    # acceptance: the fast-forward engine must actually engage and pay off
+    assert stats.get("tlm_epochs", 0) > 0, "TLM never committed an epoch"
+    assert speedup >= 2.0, (
+        f"TLM speedup {speedup:.2f}x under saturated contention is below "
+        "the 2x acceptance floor")
+    # rate fidelity: fast-forwarded epochs must preserve the workload
+    # shape (committed epochs summarize arbitration, so rates may drift
+    # within the analytic bounds, not beyond them)
+    assert fast.chaidnn_fps > 0 and tlm.chaidnn_fps > 0
+    assert abs(tlm.chaidnn_fps - fast.chaidnn_fps) <= 0.3 * fast.chaidnn_fps
+    assert fast.dma_rate > 0 and tlm.dma_rate > 0
+    assert abs(tlm.dma_rate - fast.dma_rate) <= 0.3 * fast.dma_rate

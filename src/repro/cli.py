@@ -206,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("auto", "inline", "threads", "processes"),
                         help="sharded tick-engine backend (default: "
                              "REPRO_PARALLEL_BACKEND env var, or auto)")
+    parser.add_argument("--tlm", action="store_true",
+                        help="transaction-level fast-forward mode: skip "
+                             "steady-state epochs analytically, demote "
+                             "to cycle-accurate at every unpredictable "
+                             "edge (default: REPRO_TLM env var)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser(
@@ -268,7 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override every scenario's horizon")
     campaign.add_argument("--checks", nargs="+", default=None,
                           choices=["equivalence", "liveness", "protocol",
-                                   "containment", "isolation"],
+                                   "containment", "isolation", "tlm"],
                           help="oracle families (default: per-grid)")
     campaign.add_argument("--record-timeout", type=float, default=None,
                           metavar="SECONDS",
@@ -298,6 +303,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # simulator any experiment constructs (same plumbing as
         # REPRO_PARALLEL for call sites without a backend parameter)
         os.environ["REPRO_PARALLEL_BACKEND"] = args.parallel_backend
+    if args.tlm:
+        os.environ["REPRO_TLM"] = "1"
     return args.handler(args)
 
 

@@ -164,18 +164,38 @@ class Simulator:
         boundary beats at epoch barriers; degrades gracefully to
         ``threads`` when the wiring or platform cannot support it —
         see :attr:`ParallelEngine.backend_resolution`).
+    tlm:
+        Transaction-level fast-forward mode (see :mod:`repro.sim.tlm`).
+        Implies ``fast``; incompatible with ``parallel``.  Steady-state
+        reservation traffic advances one epoch (up to a reservation
+        period) per step using the analytic models; contention onsets,
+        faults, watchdog windows, revocation orders and any
+        non-predictable component demote the window to the serial
+        cycle-accurate fast path.  Committed epochs trade per-cycle
+        observables for speed (checked by the ``tlm`` oracle in
+        :mod:`repro.verify`); windows with no committed epoch stay
+        byte-identical to ``fast=True``.
     """
 
     def __init__(self, name: str = "sim", clock_hz: float = 150e6,
                  fast: bool = False, parallel: int = 0,
-                 parallel_backend: str = "auto") -> None:
+                 parallel_backend: str = "auto", tlm: bool = False) -> None:
         if clock_hz <= 0:
             raise SimulationError("clock_hz must be positive")
         if parallel < 0:
             raise SimulationError("parallel worker count must be >= 0")
+        if tlm and parallel:
+            raise SimulationError(
+                "tlm=True is incompatible with the sharded parallel "
+                "engine (parallel=0 required)")
         self.name = name
         self.clock_hz = clock_hz
-        self.fast = bool(fast) or bool(parallel)
+        self.fast = bool(fast) or bool(parallel) or bool(tlm)
+        #: transaction-level fast-forward mode (see repro.sim.tlm):
+        #: steady-state windows advance one reservation epoch per step,
+        #: everything else runs on the serial fast path
+        self.tlm = bool(tlm)
+        self._tlm_engine = None
         #: sharded-engine worker count (0 = disabled); see repro.sim.parallel
         self.parallel = int(parallel)
         self.parallel_backend = parallel_backend
@@ -354,6 +374,12 @@ class Simulator:
         """
         if self.parallel and self._parallel_engine_active():
             self._parallel_engine.run_to(end)
+        elif self.tlm:
+            engine = self._tlm_engine
+            if engine is None:
+                from .tlm import TlmEngine
+                engine = self._tlm_engine = TlmEngine(self)
+            engine.advance(end)
         else:
             self._run_fast(end)
 

@@ -95,6 +95,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from threading import local
@@ -114,6 +115,19 @@ _CROSSOVER_MARGIN = 1.1
 
 #: process-wide calibration verdicts, keyed by (workers, start_method)
 _CROSSOVER_CACHE: Dict[Tuple[int, str], str] = {}
+
+
+def _gil_enabled() -> Optional[bool]:
+    """Probe the runtime GIL state (PEP 703).
+
+    ``False`` on a free-threaded 3.13+ build running with the GIL
+    disabled, ``True`` when the GIL is active, ``None`` when the
+    interpreter predates the probe (conventional builds, < 3.13).
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    if probe is None:
+        return None
+    return bool(probe())
 
 
 def _spin(iterations: int = 40) -> int:
@@ -142,6 +156,10 @@ def measured_backend(workers: int, start_method: Optional[str] = None,
       CPU, ``processes`` wins regardless of start method — fork and
       spawn differ only in bootstrap cost, which the engine amortizes
       over long-lived workers;
+    * on a free-threaded 3.13+ build actually running without the GIL
+      (``sys._is_gil_enabled()`` returns False) and with cores to
+      spare, ``threads`` is genuinely parallel — picked directly, no
+      calibration needed;
     * otherwise the threads-vs-inline question is *measured* with a
       GIL-bound spin workload (cached per ``(workers, start_method)``):
       on GIL builds and single-core hosts ``inline`` wins, on
@@ -153,6 +171,8 @@ def measured_backend(workers: int, start_method: Optional[str] = None,
         start_method = multiprocessing.get_start_method()
     if process_capable and (os.cpu_count() or 1) > 1:
         return "processes"
+    if _gil_enabled() is False and (os.cpu_count() or 1) > 1:
+        return "threads"
     cached = _CROSSOVER_CACHE.get((workers, start_method))
     if cached is not None:
         return cached
@@ -385,6 +405,9 @@ class ParallelEngine:
             "start_method": start_method,
             "process_shards": sorted(self._remote_infos),
             "process_blockers": dict(plan.process_blockers),
+            # PEP 703 probe: False = free-threaded build, GIL off
+            # (threads overlap for real); None = probe unavailable
+            "gil_enabled": _gil_enabled(),
         }
         sim.skip_stats.resolved_backend = resolved
         # masked walk order: remote groups are ticked by their worker

@@ -148,6 +148,14 @@ class KernelSkipStats:
       and woke their subject.
     * ``commit_batches`` / ``commit_channels`` — cohort commit flushes and
       the total dirty channels committed across them.
+    * ``tlm_epochs`` / ``tlm_cycles_skipped`` — transaction-level
+      fast-forward epochs committed and the simulated cycles they crossed
+      without cycle-by-cycle execution (``Simulator(tlm=True)`` only;
+      disjoint from ``cycles_total``, which counts cycle-accurate work).
+    * ``tlm_rollbacks`` — epochs that were predicted, speculatively
+      executed, and then rolled back to replay cycle-accurately.
+    * ``tlm_demotions`` — per-reason counts of epoch declines/demotions
+      (e.g. ``"fault"``, ``"listener"``, ``"short-period"``).
 
     ``ticks_skipped`` deliberately excludes frozen cycles; the headline
     "work avoided" figure is ``work_avoided_fraction`` which folds both in.
@@ -156,7 +164,9 @@ class KernelSkipStats:
     __slots__ = ("cycles_total", "cycles_polled", "cycles_frozen",
                  "ticks_run", "ticks_skipped", "ticks_slept",
                  "horizon_scans", "heap_pushes", "heap_pops",
-                 "commit_batches", "commit_channels", "resolved_backend")
+                 "commit_batches", "commit_channels", "resolved_backend",
+                 "tlm_epochs", "tlm_cycles_skipped", "tlm_rollbacks",
+                 "tlm_demotions")
 
     def __init__(self) -> None:
         self.reset()
@@ -179,6 +189,11 @@ class KernelSkipStats:
         # parallel engine's backend resolution so bench sidecars and
         # regressions are attributable to the engine that produced them
         self.resolved_backend = None
+        # transaction-level fast-forward accounting (Simulator(tlm=True))
+        self.tlm_epochs = 0
+        self.tlm_cycles_skipped = 0
+        self.tlm_rollbacks = 0
+        self.tlm_demotions: Dict[str, int] = {}
 
     @property
     def work_avoided_fraction(self) -> float:
@@ -208,6 +223,10 @@ class KernelSkipStats:
             "commit_channels": self.commit_channels,
             "work_avoided_fraction": self.work_avoided_fraction,
             "resolved_backend": self.resolved_backend,
+            "tlm_epochs": self.tlm_epochs,
+            "tlm_cycles_skipped": self.tlm_cycles_skipped,
+            "tlm_rollbacks": self.tlm_rollbacks,
+            "tlm_demotions": dict(self.tlm_demotions),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

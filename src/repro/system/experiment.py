@@ -16,7 +16,7 @@ records the scales used.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..axi.monitor import PropagationProbe
@@ -118,6 +118,15 @@ class CaseStudyResult:
     chaidnn_frames: int
     dma_rounds: int
     window_cycles: int
+    #: the kernel's skip/fast-forward counters for the run
+    #: (:meth:`repro.sim.stats.KernelSkipStats.as_dict`) — how the
+    #: window was actually executed: cycles skipped by the fast path,
+    #: TLM epochs committed, demotion reasons.  Benchmarks surface
+    #: these in their JSON sidecars.  Excluded from equality: it
+    #: describes the execution strategy, not the result, and differs
+    #: between equivalent kernel modes by design.
+    skip_stats: Optional[Dict[str, object]] = field(default=None,
+                                                    compare=False)
 
 
 def run_case_study(interconnect: str,
@@ -130,7 +139,8 @@ def run_case_study(interconnect: str,
                    period: int = 2048,
                    dma_burst_len: int = 64,
                    fast: bool = False,
-                   parallel: Optional[int] = None) -> CaseStudyResult:
+                   parallel: Optional[int] = None,
+                   tlm: Optional[bool] = None) -> CaseStudyResult:
     """Sections VI-C procedure: CHaiDNN (port 0) + greedy DMA (port 1).
 
     ``shares`` maps port index to a reserved bandwidth fraction (the
@@ -145,7 +155,8 @@ def run_case_study(interconnect: str,
     simulation windows short enough for repeated benchmarking.
     """
     soc = SocSystem.build(platform, interconnect=interconnect, n_ports=2,
-                          period=period, fast=fast, parallel=parallel)
+                          period=period, fast=fast, parallel=parallel,
+                          tlm=tlm)
     chaidnn = None
     dma = None
     if run_chaidnn:
@@ -177,4 +188,5 @@ def run_case_study(interconnect: str,
         chaidnn_frames=chaidnn.frames_completed if chaidnn else 0,
         dma_rounds=dma.rounds_completed if dma else 0,
         window_cycles=window_cycles,
+        skip_stats=soc.sim.skip_stats.as_dict(),
     )

@@ -4,8 +4,9 @@ The subsystem that scales PR 2's five hand-seeded fault scenarios out to
 randomized campaigns (ROADMAP: *fault-campaign scale-out*): pure-data
 :class:`Scenario` descriptions, a harness that builds any of four
 topology families from them, oracle families (liveness, AXI protocol,
-fast-vs-reference kernel equivalence, analytic containment bound, and
-multi-tenant isolation), and a replayable counterexample corpus.
+fast-vs-reference kernel equivalence, analytic containment bound,
+multi-tenant isolation, and the opt-in TLM fast-forward oracle), and a
+replayable counterexample corpus.
 
 Campaigns are the scale-out unit: :mod:`repro.verify.paramspace`
 compiles declarative axis grids into scenario lists and
@@ -53,6 +54,7 @@ from .harness import (
     run_system,
 )
 from .oracles import (
+    ALL_CHECKS,
     DEFAULT_CHECKS,
     OracleViolation,
     check_containment_bound,
@@ -61,6 +63,7 @@ from .oracles import (
     check_liveness,
     check_protocol,
     check_scenario,
+    check_tlm,
     containment_bound_for,
     dump_falsifying_example,
     equivalence_label,
@@ -110,6 +113,7 @@ __all__ = [
     "build_system",
     "run_scenario",
     "run_system",
+    "ALL_CHECKS",
     "DEFAULT_CHECKS",
     "OracleViolation",
     "check_containment_bound",
@@ -118,6 +122,7 @@ __all__ = [
     "check_liveness",
     "check_protocol",
     "check_scenario",
+    "check_tlm",
     "containment_bound_for",
     "dump_falsifying_example",
     "evaluate_scenario",

@@ -39,8 +39,8 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from .oracles import DEFAULT_CHECKS, OracleViolation, evaluate_scenario, \
-    fingerprint_digest
+from .oracles import ALL_CHECKS, DEFAULT_CHECKS, OracleViolation, \
+    evaluate_scenario, fingerprint_digest
 from .scenario import Scenario, canonical_json
 
 #: bump when the record schema changes field names or meanings
@@ -56,7 +56,7 @@ VOLATILE_FIELDS = ("elapsed_ms",)
 class CampaignConfig:
     """What the workers run on every scenario."""
 
-    #: oracle families (subset of DEFAULT_CHECKS)
+    #: oracle families (subset of ALL_CHECKS; "tlm" is opt-in)
     checks: Tuple[str, ...] = DEFAULT_CHECKS
     #: sharded-kernel worker count for the parallel equivalence leg
     #: (0 = reference vs fast only)
@@ -75,7 +75,7 @@ class CampaignConfig:
     evaluate_hook: Optional[Callable] = None
 
     def __post_init__(self) -> None:
-        unknown = set(self.checks) - set(DEFAULT_CHECKS)
+        unknown = set(self.checks) - set(ALL_CHECKS)
         if unknown:
             raise ValueError(f"unknown oracle checks {sorted(unknown)}")
         if self.record_timeout is not None and self.record_timeout <= 0:

@@ -103,6 +103,10 @@ class RunResult:
     #: op order; empty unless the scenario scripts churn) — the
     #: stale-window oracle's raw material
     churn_probes: Tuple[dict, ...] = ()
+    #: committed TLM fast-forward epochs (0 on non-TLM runs and on TLM
+    #: runs that declined every window; deliberately outside the
+    #: fingerprint so corpus digests stay pinned)
+    tlm_epochs: int = 0
 
 
 def _make_memory(sim: Simulator, scenario: Scenario, link: AxiLink,
@@ -239,17 +243,21 @@ def _arm_churn(hypervisor: Hypervisor, scenario: Scenario,
 
 def build_system(scenario: Scenario, fast: bool,
                  parallel: int = 0,
-                 parallel_backend: str = "auto") -> System:
+                 parallel_backend: str = "auto",
+                 tlm: bool = False) -> System:
     """Instantiate the scenario's topology family on a fresh simulator.
 
     ``parallel`` is the sharded-engine worker count (0 = serial) and
     ``parallel_backend`` selects its engine ("auto" / "inline" /
     "threads" / "processes"); together they form the candidate legs of
     the kernel-equivalence oracle, exercised against the reference and
-    serial-fast legs by ``check_equivalence``.
+    serial-fast legs by ``check_equivalence``.  ``tlm`` enables the
+    transaction-level fast-forward mode, the candidate leg of the
+    ``tlm`` oracle (:func:`~repro.verify.oracles.check_tlm`).
     """
     sim = Simulator("verify", clock_hz=ZCU102.pl_clock_hz, fast=fast,
-                    parallel=parallel, parallel_backend=parallel_backend)
+                    parallel=parallel, parallel_backend=parallel_backend,
+                    tlm=tlm)
     timing = OOO_TIMING if scenario.family == "ooo" else ZCU102.dram
     plans = scenario.ports
     stations: List[Station] = []
@@ -464,12 +472,15 @@ def run_system(system: System) -> RunResult:
                      violations=violations, trips=trips,
                      healthy_done=healthy_done, now=sim.now,
                      events=events, done_cycles=tuple(done_cycles),
-                     churn_probes=churn_probes)
+                     churn_probes=churn_probes,
+                     tlm_epochs=sim.skip_stats.tlm_epochs)
 
 
 def run_scenario(scenario: Scenario, fast: bool,
                  parallel: int = 0,
-                 parallel_backend: str = "auto") -> RunResult:
+                 parallel_backend: str = "auto",
+                 tlm: bool = False) -> RunResult:
     """Convenience: build then run."""
     return run_system(build_system(scenario, fast, parallel=parallel,
-                                   parallel_backend=parallel_backend))
+                                   parallel_backend=parallel_backend,
+                                   tlm=tlm))

@@ -28,10 +28,18 @@ containment bound:
    drains with ``DECERR``, the re-granted range carries exactly the
    beneficiary's bytes over scrubbed zeros, and uninvolved tenants stay
    bit-identical to the twin within the analytic churn delay bound.
+6. **tlm** (opt-in, outside :data:`DEFAULT_CHECKS`) — the
+   transaction-level fast-forward path (:mod:`repro.sim.tlm`) is either
+   *exact* or *bounded*: a run whose every window demoted to
+   cycle-accurate execution must be bit-identical to the reference,
+   while a run that committed fast-forwarded epochs must respect the
+   analytic traffic bounds (shared-bus capacity, per-port reservation
+   budgets), make progress wherever the reference did, and synthesize
+   no spurious error responses.
 
-:func:`check_scenario` composes all of them; on failure it dumps the
-falsifying scenario as JSON (for CI artifact upload and corpus
-promotion) and raises :class:`OracleViolation`.
+:func:`check_scenario` composes the default families; on failure it
+dumps the falsifying scenario as JSON (for CI artifact upload and
+corpus promotion) and raises :class:`OracleViolation`.
 """
 
 from __future__ import annotations
@@ -53,6 +61,14 @@ DEFAULT_ARTIFACT_DIR = "fuzz-artifacts"
 #: campaigns subset this (e.g. greedy bandwidth sweeps drop "liveness")
 DEFAULT_CHECKS = ("equivalence", "liveness", "protocol", "containment",
                   "isolation")
+#: every selectable family: the defaults plus the opt-in "tlm" oracle
+#: (one extra run per scenario, so grids opt in explicitly)
+ALL_CHECKS = DEFAULT_CHECKS + ("tlm",)
+#: per-port bytes the TLM flush may credit instantly at each epoch
+#: boundary: at most 8 outstanding transactions of at most 64 beats on
+#: the verify harness's 16-byte bus (engines there run the defaults —
+#: 8 outstanding, 16-beat bursts — so this is deliberately generous)
+TLM_FLUSH_SLACK_BYTES = 8 * 64 * 16
 
 
 class OracleViolation(AssertionError):
@@ -504,6 +520,95 @@ def check_stale_window(scenario: Scenario, result: RunResult,
                 f"{limit}", scenario)
 
 
+def check_tlm(scenario: Scenario, reference: RunResult,
+              candidate: RunResult) -> None:
+    """Oracle 6: the TLM fast-forward path is either exact or bounded.
+
+    The candidate is the scenario re-run with ``tlm=True``.  Two
+    regimes, split on :attr:`RunResult.tlm_epochs`:
+
+    * **0 committed epochs** — the engine declined every window, so by
+      construction it executed the serial fast path cycle-for-cycle;
+      the run must be *bit-identical* to the reference
+      (:func:`check_equivalence` with label ``tlm``).
+    * **>= 1 committed epochs** — per-cycle observables are summarized,
+      so exact equality is out; instead the analytic models that drove
+      the fast-forward must hold on the outcome:
+
+      - aggregate traffic fits the shared bus (one beat per cycle per
+        memory link) plus the per-epoch in-flight flush slack;
+      - every reserved port (``0 < share < 1``) moved at most its
+        programmed budget's worth of beats per reservation period
+        (:meth:`~repro.analysis.reservation.ReservationAnalysis.for_share`),
+        again plus flush slack;
+      - every healthy port that made progress under the reference made
+        progress under TLM (fast-forwarding must not starve anyone);
+      - no error responses appear on healthy ports over a healthy
+        memory when the reference saw none.
+    """
+    if candidate.tlm_epochs == 0:
+        check_equivalence(scenario, reference, candidate, label="tlm")
+        return
+    beat_bytes = 16                   # the verify harness's bus width
+    links = 2 if scenario.family == "multiport" else 1
+    slack = candidate.tlm_epochs * TLM_FLUSH_SLACK_BYTES
+    total = sum(info["bytes_read"] + info["bytes_written"]
+                for info in candidate.engines)
+    capacity = (candidate.now * beat_bytes * links
+                + len(scenario.ports) * slack)
+    if total > capacity:
+        raise OracleViolation(
+            "tlm",
+            f"TLM run moved {total} bytes over a bus whose "
+            f"{candidate.now}-cycle capacity (plus flush slack for "
+            f"{candidate.tlm_epochs} epochs) is {capacity}", scenario)
+    shares = None
+    if scenario.equal_shares:
+        shares = tuple(1.0 / len(scenario.ports)
+                       for __ in scenario.ports)
+    elif scenario.shares is not None:
+        shares = scenario.shares
+    if shares is not None:
+        from ..analysis.reservation import ReservationAnalysis
+        periods = candidate.now // scenario.period + 2
+        for index, share in enumerate(shares):
+            if not 0.0 < share < 1.0:
+                continue       # decoupled (0.0) / unreserved (1.0)
+            analysis = ReservationAnalysis.for_share(share,
+                                                     scenario.period)
+            info = candidate.engines[index]
+            moved = info["bytes_read"] + info["bytes_written"]
+            limit = (analysis.budget * analysis.nominal_burst
+                     * beat_bytes * periods + slack)
+            if moved > limit:
+                raise OracleViolation(
+                    "tlm",
+                    f"reserved port {info['name']} (share {share}) "
+                    f"moved {moved} bytes under TLM; budget "
+                    f"{analysis.budget}/{scenario.period} caps "
+                    f"{periods} periods (plus flush slack) at {limit}",
+                    scenario)
+    for index, (info, ref) in enumerate(zip(candidate.engines,
+                                            reference.engines)):
+        if scenario.ports[index].is_rogue:
+            continue
+        if (ref["bytes_read"] + ref["bytes_written"] > 0
+                and info["bytes_read"] + info["bytes_written"] == 0):
+            raise OracleViolation(
+                "tlm",
+                f"{info['name']} moved bytes under the reference but "
+                "none under TLM — fast-forwarding starved the port",
+                scenario)
+        if (scenario.memory.kind == "none"
+                and ref["error_responses"] == 0
+                and info["error_responses"] != 0):
+            raise OracleViolation(
+                "tlm",
+                f"{info['name']} saw {info['error_responses']} error "
+                "responses under TLM where the reference saw none",
+                scenario)
+
+
 # ----------------------------------------------------------------------
 # composition
 # ----------------------------------------------------------------------
@@ -563,17 +668,18 @@ def evaluate_scenario(scenario: Scenario,
                       ) -> RunResult:
     """Run the selected oracle families on one scenario.
 
-    ``checks`` subsets :data:`DEFAULT_CHECKS`; "equivalence" runs the
+    ``checks`` subsets :data:`ALL_CHECKS`; "equivalence" runs the
     scenario on the fast kernel path and — with ``parallel`` > 0 — on
     the sharded parallel engine once per entry of ``parallel_backends``
-    (default ``("auto",)``), against the reference; "containment"
-    additionally runs the fault-free baseline when the analytic bound
-    applies.  Raises :class:`OracleViolation` on the first falsified
-    oracle; returns the reference run.  This is the worker body of the
-    campaign runner (:mod:`repro.verify.campaign`), which records
-    violations as verdicts instead of raising.
+    (default ``("auto",)``), against the reference; "tlm" adds the
+    transaction-level fast-forward leg (:func:`check_tlm`);
+    "containment" additionally runs the fault-free baseline when the
+    analytic bound applies.  Raises :class:`OracleViolation` on the
+    first falsified oracle; returns the reference run.  This is the
+    worker body of the campaign runner (:mod:`repro.verify.campaign`),
+    which records violations as verdicts instead of raising.
     """
-    unknown = set(checks) - set(DEFAULT_CHECKS)
+    unknown = set(checks) - set(ALL_CHECKS)
     if unknown:
         raise ValueError(f"unknown oracle checks {sorted(unknown)}")
     if parallel_backends is None:
@@ -590,6 +696,9 @@ def evaluate_scenario(scenario: Scenario,
                 check_equivalence(
                     scenario, reference, sharded,
                     label=equivalence_label(parallel, backend))
+    if "tlm" in checks:
+        check_tlm(scenario, reference,
+                  run_scenario(scenario, fast=True, tlm=True))
     if "liveness" in checks:
         check_liveness(scenario, reference)
     if "protocol" in checks:

@@ -37,7 +37,7 @@ from itertools import combinations, product
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, \
     Optional, Sequence, Tuple
 
-from .oracles import DEFAULT_CHECKS
+from .oracles import ALL_CHECKS, DEFAULT_CHECKS
 from .scenario import MasterFault, MemoryFault, PortPlan, Scenario, \
     canonical_json
 
@@ -622,9 +622,21 @@ THROUGHPUT_GRID = _register(GridSpec(
 ))
 
 #: composite grids: a name expands to several member grids, stacked and
-#: deduplicated in order (the CI campaign-smoke job runs "smoke")
+#: deduplicated in order (the CI campaign-smoke job runs "smoke"; the
+#: CI tlm-smoke job runs "tlm")
 COMPOSITES: Dict[str, Tuple[str, ...]] = {
     "smoke": ("faults", "cascade", "fabric", "reservation"),
+    "tlm": ("faults", "churn", "reservation"),
+}
+
+#: composite-level check overrides: by default a composite asserts the
+#: *intersection* of its members' checks; entries here replace that.
+#: The "tlm" composite adds the opt-in tlm oracle on top of the full
+#: default families — fault and churn scenarios must demote to
+#: bit-identical execution, steady reservation scenarios must
+#: fast-forward within the analytic bounds.
+COMPOSITE_CHECKS: Dict[str, Tuple[str, ...]] = {
+    "tlm": ALL_CHECKS,
 }
 
 
@@ -642,12 +654,14 @@ def grid_scenarios(name: str, mode: Optional[str] = None, seed: int = 0,
     Composite names concatenate their member grids and deduplicate
     compiled scenarios across them; the checks are the intersection of
     the members' check tuples (a composite may only assert what every
-    member grid supports).
+    member grid supports) unless :data:`COMPOSITE_CHECKS` overrides
+    them (the "tlm" composite opts into the tlm oracle this way).
     """
     if name in COMPOSITES:
         members = [GRIDS[member] for member in COMPOSITES[name]]
-        checks = tuple(c for c in GRIDS[members[0].name].checks
-                       if all(c in m.checks for m in members))
+        checks = COMPOSITE_CHECKS.get(name) or tuple(
+            c for c in GRIDS[members[0].name].checks
+            if all(c in m.checks for m in members))
         scenarios: List[Scenario] = []
         seen = set()
         for member in members:

@@ -233,6 +233,37 @@ class TestResolution:
         # incapable plans fall to the measured threads/inline verdict
         assert measured_backend(4, "fork", False) in ("threads", "inline")
 
+    def test_gil_probe_reported(self):
+        from repro.sim.parallel import _gil_enabled
+
+        probe = getattr(__import__("sys"), "_is_gil_enabled", None)
+        if probe is None:
+            assert _gil_enabled() is None       # pre-3.13 build
+        else:
+            assert _gil_enabled() is bool(probe())
+
+    def test_free_threaded_build_picks_threads(self, monkeypatch):
+        """PEP 703 gate: no spin calibration on a GIL-free interpreter."""
+        from repro.sim import parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod.sys, "_is_gil_enabled",
+                            lambda: False, raising=False)
+        if (os.cpu_count() or 1) > 1:
+            assert measured_backend(4, "fork", False) == "threads"
+        # a GIL-enabled probe must keep the measured verdict instead
+        monkeypatch.setattr(parallel_mod.sys, "_is_gil_enabled",
+                            lambda: True, raising=False)
+        assert measured_backend(4, "fork", False) in ("threads", "inline")
+
+    def test_resolution_trail_records_gil_probe(self):
+        sim = build_offload_sim(N_ENGINES, n_jobs=N_JOBS, parallel=2,
+                                parallel_backend="threads")
+        sim.run(RUN_CYCLES)
+        resolution = sim._parallel_engine.backend_resolution
+        assert "gil_enabled" in resolution
+        assert resolution["gil_enabled"] in (True, False, None)
+        sim.finish()
+
     def test_unknown_backend_still_rejected(self):
         with pytest.raises(SimulationError):
             sim = Simulator("bad", parallel=2, parallel_backend="fibers")
